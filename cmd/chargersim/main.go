@@ -1,0 +1,165 @@
+// Command chargersim runs one charging-scheduling scenario end to end and
+// reports the outcome: generate a random network, plan (or simulate) with
+// the chosen algorithm, verify feasibility, and print cost and schedule
+// statistics.
+//
+// Examples:
+//
+//	chargersim -algo mtd    -n 200 -T 1000          # MinTotalDistance
+//	chargersim -algo greedy -n 200 -T 1000          # greedy baseline
+//	chargersim -algo var    -n 200 -T 1000 -dt 10   # variable cycles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "mtd", "algorithm: mtd, greedy, var, greedyvar")
+		n       = flag.Int("n", 200, "number of sensors")
+		q       = flag.Int("q", 5, "number of mobile chargers")
+		T       = flag.Float64("T", 1000, "monitoring period")
+		tauMin  = flag.Float64("taumin", 1, "minimum charging cycle")
+		tauMax  = flag.Float64("taumax", 50, "maximum charging cycle")
+		sigma   = flag.Float64("sigma", 2, "linear-distribution variance")
+		distStr = flag.String("dist", "linear", "cycle distribution: linear or random")
+		slotDT  = flag.Float64("dt", 10, "cycle-constancy slot length (var/greedyvar)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		refine  = flag.Bool("refine", false, "apply 2-opt/Or-opt tour refinement")
+		speed   = flag.Float64("speed", 0, "charger speed (m per time unit); >0 checks the paper's time-scale assumption")
+		mapOut  = flag.String("map", "", "write an SVG deployment map with one full charging round to this file")
+		verbose = flag.Bool("v", false, "print per-round details")
+	)
+	flag.Parse()
+
+	var dist repro.CycleDist
+	switch *distStr {
+	case "linear":
+		dist = repro.LinearDist{TauMin: *tauMin, TauMax: *tauMax, Sigma: *sigma}
+	case "random":
+		dist = repro.RandomDist{TauMin: *tauMin, TauMax: *tauMax}
+	default:
+		fatal("unknown distribution %q", *distStr)
+	}
+
+	r := repro.NewRand(*seed)
+	net, err := repro.Generate(r.Split(1), repro.GenConfig{N: *n, Q: *q, Dist: dist})
+	if err != nil {
+		fatal("%v", err)
+	}
+	opt := repro.TourOptions{Refine: *refine}
+	fmt.Printf("network: n=%d q=%d field=%.0fx%.0f cycles=[%.2f, %.2f]\n",
+		net.N(), net.Q(), net.Field.Width(), net.Field.Height(), net.MinCycle(), net.MaxCycle())
+	if *mapOut != "" {
+		if err := writeMap(*mapOut, net, opt); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote deployment map to %s\n", *mapOut)
+	}
+
+	switch *algo {
+	case "mtd":
+		plan, err := repro.PlanFixed(net, *T, repro.FixedOptions{Rooted: opt})
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := plan.Schedule.Verify(net.Cycles(), 1e-6); err != nil {
+			fatal("infeasible plan: %v", err)
+		}
+		st := plan.Schedule.Summarize()
+		fmt.Printf("MinTotalDistance: K=%d ratio bound=%.0f\n", plan.K, plan.RatioBound)
+		fmt.Printf("service cost: %.1f m (certified lower bound on OPT: %.1f, gap <= %.2fx)\n",
+			st.Cost, plan.LowerBound, st.Cost/plan.LowerBound)
+		fmt.Printf("rounds=%d dispatches=%d sensor-charges=%d mean tour=%.1f m\n",
+			st.Rounds, st.Dispatches, st.SensorCharges, st.MeanTourLen)
+		fmt.Println("feasibility: verified (no inter-charge gap exceeds any cycle)")
+		if *speed > 0 {
+			k := repro.Kinematics{Speed: *speed}
+			rep, err := k.CheckTimeScale(nil, plan.Schedule)
+			if err != nil {
+				fatal("%v", err)
+			}
+			fmt.Printf("time-scale check @ speed %.0f m/unit: max round duration %.3f, min gap %.3f, worst ratio %.4f, violations %d\n",
+				*speed, rep.MaxRoundDuration, rep.MinGap, rep.WorstRatio, rep.Violations)
+		}
+		if *verbose {
+			for k, sol := range plan.RoundSolutions {
+				fmt.Printf("  D_%d: cost=%.1f (forest lower bound %.1f)\n", k, sol.Cost(), sol.ForestWeight)
+			}
+		}
+	case "greedy":
+		res, err := repro.RunGreedyFixed(net, *T, *tauMin, opt)
+		if err != nil {
+			fatal("%v", err)
+		}
+		report("Greedy", res, *verbose)
+	case "var", "greedyvar":
+		model, err := repro.NewSlottedModel(net, dist, *slotDT, r.Split(2))
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *algo == "var" {
+			res, pol, err := repro.RunVar(net, model, *T, *tauMin, 0, opt)
+			if err != nil {
+				fatal("%v", err)
+			}
+			report("MinTotalDistance-var", res, *verbose)
+			fmt.Printf("replans: %d\n", pol.Replans)
+		} else {
+			res, err := repro.RunGreedyVar(net, model, *T, *tauMin, 0, opt)
+			if err != nil {
+				fatal("%v", err)
+			}
+			report("Greedy (variable cycles)", res, *verbose)
+		}
+	default:
+		fatal("unknown algorithm %q (want mtd, greedy, var, greedyvar)", *algo)
+	}
+}
+
+func report(name string, res repro.SimResult, verbose bool) {
+	st := res.Schedule.Summarize()
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("service cost: %.1f m\n", st.Cost)
+	fmt.Printf("rounds=%d dispatches=%d sensor-charges=%d mean tour=%.1f m\n",
+		st.Rounds, st.Dispatches, st.SensorCharges, st.MeanTourLen)
+	if res.Deaths == 0 {
+		fmt.Println("perpetual operation: no sensor ran out of energy")
+	} else {
+		fmt.Printf("WARNING: %d sensor deaths, first at t=%.1f\n", res.Deaths, res.FirstDeath)
+	}
+	if verbose {
+		fmt.Println("fleet workload:")
+		fmt.Println(indent(res.Schedule.Fleet().String()))
+		for _, round := range res.Schedule.Rounds {
+			if s := round.Sensors(); len(s) > 0 {
+				fmt.Printf("  t=%-8.1f cost=%-8.1f charged=%d\n", round.Time, round.Cost(), len(s))
+			}
+		}
+	}
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}
+
+func writeMap(path string, net *repro.Network, opt repro.TourOptions) error {
+	sol := repro.RootedTours(net, net.SensorIndices(), opt)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return repro.WriteMap(f, net, sol.Tours, fmt.Sprintf("n=%d q=%d, one full charging round", net.N(), net.Q()))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chargersim: "+format+"\n", args...)
+	os.Exit(1)
+}

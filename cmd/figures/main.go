@@ -1,0 +1,207 @@
+// Command figures regenerates the paper's evaluation figures.
+//
+// For each requested figure it runs the corresponding parameter sweep
+// (averaging over -topologies random networks per point, in parallel),
+// prints an aligned table to stdout, and writes CSV and SVG artifacts to
+// -out.
+//
+// Examples:
+//
+//	figures -fig 1a                 # one figure, paper-scale (100 topologies)
+//	figures -all -topologies 20     # all figures, quicker
+//	figures -list                   # list known figure IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/plot"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "", "figure ID to run (see -list)")
+		all        = flag.Bool("all", false, "run every figure and ablation")
+		paperOnly  = flag.Bool("paper", false, "with -all, run only the paper's 8 panels (skip ablations)")
+		topologies = flag.Int("topologies", 100, "random networks per data point")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		seed       = flag.Uint64("seed", 1, "master random seed")
+		T          = flag.Float64("T", 1000, "monitoring period")
+		q          = flag.Int("q", 5, "number of mobile chargers")
+		outDir     = flag.String("out", "results", "output directory for CSV/SVG artifacts")
+		list       = flag.Bool("list", false, "list figure IDs and exit")
+		summary    = flag.Bool("summary", false, "summarize existing CSVs in -out and exit")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		raw        = flag.Bool("raw", false, "also write per-topology raw samples (fig<ID>_raw.csv)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.FigureIDs() {
+			fmt.Printf("%-16s %s\n", id, experiment.FigureDescription(id))
+		}
+		return
+	}
+	if *summary {
+		if err := printSummary(*outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiment.FigureIDs()
+		if *paperOnly {
+			ids = ids[:8]
+		}
+	case *fig != "":
+		ids = strings.Split(*fig, ",")
+	default:
+		fmt.Fprintln(os.Stderr, "figures: pass -fig <id> or -all (use -list to see IDs)")
+		os.Exit(2)
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		cfg := experiment.Config{
+			Topologies: *topologies,
+			Workers:    *workers,
+			Seed:       *seed,
+			T:          *T,
+			Q:          *q,
+		}
+		if !*quiet {
+			fmt.Printf("== %s: %s\n", id, experiment.FigureDescription(id))
+			start := time.Now()
+			lastPct := -1
+			cfg.Progress = func(done, total int) {
+				pct := done * 100 / total
+				if pct/5 != lastPct/5 {
+					lastPct = pct
+					fmt.Fprintf(os.Stderr, "\r   %3d%% (%d/%d cells, %s elapsed)",
+						pct, done, total, time.Since(start).Round(time.Second))
+				}
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+		series, err := experiment.Figure(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := plot.WriteTable(os.Stdout, series); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if err := writeArtifacts(*outDir, id, series, *raw); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printSummary reads every fig<ID>.csv present in dir and prints the
+// head/tail cost ratios of the first two algorithms — a one-screen
+// audit of all reproduced figures.
+func printSummary(dir string) error {
+	fmt.Printf("%-18s %-10s %-10s %s\n", "figure", "ratio@x0", "ratio@xN", "description")
+	found := 0
+	for _, id := range experiment.FigureIDs() {
+		algos, err := experiment.FigureAlgorithms(id)
+		if err != nil || len(algos) < 2 {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, "fig"+id+".csv"))
+		if err != nil {
+			continue // not run yet
+		}
+		xs, means, err := plot.ReadCSVMeans(f, algos[:2])
+		f.Close()
+		if err != nil || len(xs) == 0 {
+			continue
+		}
+		first := means[algos[0]][0] / means[algos[1]][0]
+		last := means[algos[0]][len(xs)-1] / means[algos[1]][len(xs)-1]
+		fmt.Printf("%-18s %-10.3f %-10.3f %s\n", id, first, last, experiment.FigureDescription(id))
+		found++
+	}
+	if found == 0 {
+		return fmt.Errorf("no figure CSVs found in %s", dir)
+	}
+	return nil
+}
+
+func writeArtifacts(dir, id string, s experiment.Series, raw bool) error {
+	if raw {
+		rawPath := filepath.Join(dir, "fig"+id+"_raw.csv")
+		rf, err := os.Create(rawPath)
+		if err != nil {
+			return err
+		}
+		if err := plot.WriteRawCSV(rf, s); err != nil {
+			rf.Close()
+			return err
+		}
+		if err := rf.Close(); err != nil {
+			return err
+		}
+	}
+	csvPath := filepath.Join(dir, "fig"+id+".csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := plot.WriteCSV(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	mdPath := filepath.Join(dir, "fig"+id+".md")
+	m, err := os.Create(mdPath)
+	if err != nil {
+		return err
+	}
+	if err := plot.WriteMarkdown(m, s); err != nil {
+		m.Close()
+		return err
+	}
+	if err := m.Close(); err != nil {
+		return err
+	}
+	svgPath := filepath.Join(dir, "fig"+id+".svg")
+	g, err := os.Create(svgPath)
+	if err != nil {
+		return err
+	}
+	if err := plot.WriteSVG(g, s, plot.SVGOptions{
+		Title:  experiment.FigureDescription(id),
+		YLabel: "Service Cost (m)",
+	}); err != nil {
+		g.Close()
+		return err
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("   wrote %s, %s and %s\n\n", csvPath, mdPath, svgPath)
+	return nil
+}

@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles one of the repository's binaries into dir and
+// returns its path.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI builds")
+	}
+	dir := t.TempDir()
+
+	t.Run("figures", func(t *testing.T) {
+		bin := buildCmd(t, dir, "figures")
+		out := run(t, bin, "-list")
+		for _, id := range FigureIDs() {
+			if !strings.Contains(out, id) {
+				t.Errorf("figures -list missing %q", id)
+			}
+		}
+		resDir := filepath.Join(dir, "results")
+		out = run(t, bin, "-fig", "1a", "-topologies", "2", "-T", "40", "-out", resDir, "-quiet", "-raw")
+		if !strings.Contains(out, "MTD/Greedy") {
+			t.Errorf("figures table missing ratio column:\n%s", out)
+		}
+		for _, f := range []string{"fig1a.csv", "fig1a.svg", "fig1a.md", "fig1a_raw.csv"} {
+			if _, err := os.Stat(filepath.Join(resDir, f)); err != nil {
+				t.Errorf("missing artifact %s: %v", f, err)
+			}
+		}
+		out = run(t, bin, "-summary", "-out", resDir)
+		if !strings.Contains(out, "1a") || !strings.Contains(out, "ratio@x0") {
+			t.Errorf("summary output wrong:\n%s", out)
+		}
+	})
+
+	t.Run("chargersim", func(t *testing.T) {
+		bin := buildCmd(t, dir, "chargersim")
+		mapPath := filepath.Join(dir, "map.svg")
+		out := run(t, bin, "-algo", "mtd", "-n", "30", "-T", "60", "-speed", "10000", "-map", mapPath)
+		for _, want := range []string{"MinTotalDistance:", "feasibility: verified", "time-scale check"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("chargersim output missing %q:\n%s", want, out)
+			}
+		}
+		if _, err := os.Stat(mapPath); err != nil {
+			t.Errorf("map not written: %v", err)
+		}
+		out = run(t, bin, "-algo", "var", "-n", "25", "-T", "60")
+		if !strings.Contains(out, "perpetual operation") {
+			t.Errorf("var run reported deaths:\n%s", out)
+		}
+	})
+
+	t.Run("netgen", func(t *testing.T) {
+		bin := buildCmd(t, dir, "netgen")
+		out := run(t, bin, "-n", "6", "-q", "2")
+		lines := strings.Split(strings.TrimSpace(out), "\n")
+		// header + 6 sensors + 2 depots + base
+		if len(lines) != 10 {
+			t.Errorf("netgen emitted %d lines:\n%s", len(lines), out)
+		}
+		if !strings.HasPrefix(lines[0], "kind,id,x,y") {
+			t.Errorf("header = %q", lines[0])
+		}
+	})
+}

@@ -1,0 +1,106 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Example shows the minimal end-to-end flow: deploy a network, plan a
+// monitoring period with MinTotalDistance, and verify feasibility.
+func Example() {
+	net, err := repro.Generate(repro.NewRand(42), repro.GenConfig{
+		N: 50, Q: 5,
+		Dist: repro.LinearDist{TauMin: 1, TauMax: 50, Sigma: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := repro.PlanFixed(net, 200, repro.FixedOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := plan.Schedule.Verify(net.Cycles(), 1e-6); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feasible:", plan.Cost() > 0)
+	// Output: feasible: true
+}
+
+// ExampleRootedTours solves one q-rooted TSP round: every requested
+// sensor is covered by exactly one closed tour rooted at a depot, at
+// most twice the optimal total length.
+func ExampleRootedTours() {
+	net, err := repro.Generate(repro.NewRand(7), repro.GenConfig{
+		N: 20, Q: 3, Dist: repro.RandomDist{TauMin: 1, TauMax: 10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol := repro.RootedTours(net, net.SensorIndices(), repro.TourOptions{})
+	fmt.Println("tours:", len(sol.Tours))
+	fmt.Println("within 2x of lower bound:", sol.Cost() <= 2*sol.ForestWeight)
+	// Output:
+	// tours: 3
+	// within 2x of lower bound: true
+}
+
+// ExamplePlanFixed_lowerBound shows the certified optimality gap every
+// plan carries: the cost is sandwiched between the Lemma-3 lower bound
+// and 2(K+2) times the (unknown) optimum.
+func ExamplePlanFixed_lowerBound() {
+	net, err := repro.Generate(repro.NewRand(3), repro.GenConfig{
+		N: 80, Q: 5, Dist: repro.LinearDist{TauMin: 1, TauMax: 50, Sigma: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := repro.PlanFixed(net, 500, repro.FixedOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cost >= certified lower bound:", plan.Cost() >= plan.LowerBound)
+	fmt.Printf("proven ratio bound: %.0f\n", plan.RatioBound)
+	// Output:
+	// cost >= certified lower bound: true
+	// proven ratio bound: 8
+}
+
+// ExampleSimulate runs a custom charging policy against the simulator.
+func ExampleSimulate() {
+	net, err := repro.Generate(repro.NewRand(9), repro.GenConfig{
+		N: 30, Q: 2, Dist: repro.RandomDist{TauMin: 5, TauMax: 20},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Simulate(net, repro.NewFixedModel(net),
+		&repro.GreedyPolicy{}, repro.SimConfig{T: 100, Dt: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deaths:", res.Deaths)
+	// Output: deaths: 0
+}
+
+// Example_variableCycles drives the variable-cycle heuristic: cycles are
+// redrawn every slot, the policy re-plans on updates, and nobody dies.
+func Example_variableCycles() {
+	r := repro.NewRand(11)
+	dist := repro.LinearDist{TauMin: 1, TauMax: 50, Sigma: 2}
+	net, err := repro.Generate(r.Split(1), repro.GenConfig{N: 40, Q: 5, Dist: dist})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := repro.NewSlottedModel(net, dist, 10, r.Split(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _, err := repro.RunVar(net, model, 150, 1, 0, repro.TourOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deaths:", res.Deaths)
+	// Output: deaths: 0
+}

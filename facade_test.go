@@ -1,0 +1,208 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func facadeNet(t *testing.T) *Network {
+	t.Helper()
+	net, err := Generate(NewRand(11), GenConfig{
+		N: 24, Q: 3, Dist: LinearDist{TauMin: 2, TauMax: 20, Sigma: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestFacadeClusteredGeneration(t *testing.T) {
+	net, err := GenerateClustered(NewRand(5), ClusteredConfig{
+		N: 40, Q: 3, Clusters: 2, Dist: RandomDist{TauMin: 1, TauMax: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 40 {
+		t.Fatalf("N = %d", net.N())
+	}
+}
+
+func TestFacadeSplitAndBalance(t *testing.T) {
+	net := facadeNet(t)
+	sol := RootedTours(net, net.SensorIndices(), TourOptions{})
+	budget := 2 * net.Field.Diagonal()
+	split, err := SplitTours(net, sol, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tour := range split.Tours {
+		if tour.Cost > budget+1e-6 {
+			t.Errorf("sortie %g over budget %g", tour.Cost, budget)
+		}
+	}
+	bal := BalanceTours(net, sol, 0)
+	if bal.MaxTourCost() > sol.MaxTourCost()+1e-9 {
+		t.Errorf("balance raised max tour: %g -> %g", sol.MaxTourCost(), bal.MaxTourCost())
+	}
+}
+
+func TestFacadeExactTours(t *testing.T) {
+	net := facadeNet(t)
+	sensors := []int{0, 3, 6, 9}
+	opt, err := ExactTours(net, sensors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := RootedTours(net, sensors, TourOptions{})
+	if approx.Cost() < opt.Cost()-1e-9 {
+		t.Errorf("approx %g beats exact %g", approx.Cost(), opt.Cost())
+	}
+	if approx.Cost() > 2*opt.Cost()+1e-9 {
+		t.Errorf("ratio above 2: %g vs %g", approx.Cost(), opt.Cost())
+	}
+}
+
+func TestFacadeReplayOfPlan(t *testing.T) {
+	net := facadeNet(t)
+	plan, err := PlanFixed(net, 80, FixedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(net, NewFixedModel(net), plan.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deaths != 0 {
+		t.Errorf("deaths = %d", rep.Deaths)
+	}
+	if math.Abs(rep.Cost-plan.Cost()) > 1e-9 {
+		t.Errorf("replay cost %g != plan %g", rep.Cost, plan.Cost())
+	}
+}
+
+func TestFacadePersistenceRoundTrip(t *testing.T) {
+	net := facadeNet(t)
+	var nb bytes.Buffer
+	if err := WriteNetworkJSON(&nb, net); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNetworkJSON(&nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != net.N() || got.Q() != net.Q() {
+		t.Fatalf("round trip changed sizes")
+	}
+	plan, err := PlanFixed(net, 60, FixedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	if err := WriteScheduleJSON(&sb, plan.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadScheduleJSON(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s2.Cost()-plan.Cost()) > 1e-9 {
+		t.Errorf("schedule cost changed in round trip")
+	}
+}
+
+func TestFacadeWriteMap(t *testing.T) {
+	net := facadeNet(t)
+	sol := RootedTours(net, net.SensorIndices(), TourOptions{})
+	var buf bytes.Buffer
+	if err := WriteMap(&buf, net, sol.Tours, "title"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<svg") {
+		t.Error("not SVG output")
+	}
+}
+
+func TestFacadeKinematics(t *testing.T) {
+	net := facadeNet(t)
+	plan, err := PlanFixed(net, 80, FixedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Kinematics{Speed: 100000}
+	rep, err := k.CheckTimeScale(nil, plan.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("violations at absurd speed: %d", rep.Violations)
+	}
+	if rep.WorstRatio <= 0 {
+		t.Errorf("worst ratio = %g", rep.WorstRatio)
+	}
+}
+
+func TestFacadeRoutingModel(t *testing.T) {
+	net, err := Generate(NewRand(21), GenConfig{
+		N: 150, Q: 3, Dist: RandomDist{TauMin: 1, TauMax: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := RoutingModel{CommRange: 220}
+	res, err := m.DeriveRates(net)
+	if err != nil {
+		t.Skipf("disconnected at this seed: %v", err)
+	}
+	if err := m.ApplyRates(net, res, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	if net.MinCycle() < 1-1e-9 || net.MaxCycle() > 50+1e-9 {
+		t.Errorf("cycles out of range after ApplyRates")
+	}
+}
+
+func TestFacadeTracer(t *testing.T) {
+	net := facadeNet(t)
+	tr := NewTracer(&GreedyPolicy{})
+	res, err := Simulate(net, NewFixedModel(net), tr, SimConfig{T: 40, Dt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deaths != 0 {
+		t.Fatalf("deaths = %d", res.Deaths)
+	}
+	margin, err := tr.MinSafetyMargin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margin < 0 {
+		t.Errorf("margin = %g", margin)
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceSVG(&buf, tr.Trace(), "greedy health"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<svg") {
+		t.Error("not SVG")
+	}
+}
+
+func TestFacadeTourMethods(t *testing.T) {
+	net := facadeNet(t)
+	sensors := net.SensorIndices()
+	for _, m := range []TourMethod{MethodDoubleTree, MethodClusterFirst, MethodChristofides} {
+		sol := RootedTours(net, sensors, TourOptions{Method: m})
+		covered := map[int]bool{}
+		for _, tour := range sol.Tours {
+			for _, s := range tour.Stops {
+				covered[s] = true
+			}
+		}
+		if len(covered) != len(sensors) {
+			t.Errorf("method %v covered %d of %d sensors", m, len(covered), len(sensors))
+		}
+	}
+}

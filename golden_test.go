@@ -1,0 +1,51 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestGoldenCells pins the exact service costs of a handful of
+// experiment cells. The whole pipeline — topology generation, cycle
+// draws, forest construction, Euler walks, scheduling, simulation — is
+// deterministic, so any change to these values signals a behavioural
+// change that EXPERIMENTS.md results would no longer reflect. If a
+// change is intentional, read the new values from the test failure,
+// update the constants, and refresh EXPERIMENTS.md via cmd/figures.
+func TestGoldenCells(t *testing.T) {
+	// Pin via tiny sweeps (1 topology at the first sweep point), which
+	// exercises the exact production path including seed derivation.
+	pin := func(fig string, wantFirst map[string]float64) {
+		t.Helper()
+		s, err := experiment.Figure(fig, experiment.Config{Topologies: 1, T: 200})
+		if err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		for algo, want := range wantFirst {
+			got := s.Points[0].Summary[algo].Mean
+			if math.Abs(got-want) > 0.5 {
+				t.Errorf("%s x=%g %s: cost %.1f, golden %.1f — behaviour changed; "+
+					"verify intentionally and refresh EXPERIMENTS.md",
+					fig, s.Points[0].X, algo, got, want)
+			}
+		}
+	}
+	pin("1a", map[string]float64{
+		experiment.AlgoMTD:    goldenFig1aMTD,
+		experiment.AlgoGreedy: goldenFig1aGreedy,
+	})
+	pin("3", map[string]float64{
+		experiment.AlgoMTDVar: goldenFig3Var,
+	})
+}
+
+// Golden values for (Topologies=1, T=200, seed 1) cells at the first
+// sweep point (n=100), captured from the shipped implementation. See
+// TestGoldenCells for the refresh procedure.
+const (
+	goldenFig1aMTD    = 119864.649546
+	goldenFig1aGreedy = 251814.637208
+	goldenFig3Var     = 166200.153172
+)

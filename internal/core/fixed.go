@@ -1,0 +1,257 @@
+// Package core implements the paper's charging-scheduling algorithms:
+//
+//   - PlanFixed — Algorithm 3, "MinTotalDistance": the 2(K+2)-approximation
+//     for the service cost minimization problem with fixed maximum
+//     charging cycles.
+//   - Greedy — the on-demand baseline of Section VII-A: charge every
+//     sensor whose predicted residual lifetime falls below Δl.
+//   - Var — "MinTotalDistance-var" (Section VI): the heuristic for
+//     variable maximum charging cycles, re-planning on cycle updates and
+//     patching under-provisioned sensors into their nearest round.
+//
+// All three produce sched.Schedule values whose cost is the paper's
+// objective, the total distance travelled by the q mobile chargers.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/metric"
+	"repro/internal/rooted"
+	"repro/internal/sched"
+	"repro/internal/wsn"
+)
+
+// FixedOptions control PlanFixed.
+type FixedOptions struct {
+	// Rooted configures the q-rooted TSP subroutine.
+	Rooted rooted.Options
+	// Base is the geometric rounding base for charging-cycle classes;
+	// 0 defaults to the paper's 2. Larger bases build fewer classes
+	// (smaller K) at the price of rounding cycles down more
+	// aggressively; the rounding-base ablation sweeps this.
+	Base float64
+	// Parallel computes the K+1 prefix-class tour solutions on
+	// separate goroutines. The solutions are independent, so the
+	// result is identical to the sequential computation; this only
+	// trades memory for wall-clock time on multicore machines.
+	Parallel bool
+	// SortieBudget, when positive, splits every charging tour so no
+	// single sortie travels farther than this (capacity-limited
+	// vehicles; see rooted.SplitTours). Feasibility is unaffected —
+	// the same sensors are charged at the same times, possibly by
+	// several back-to-back sorties from the same depot.
+	SortieBudget float64
+}
+
+func (o FixedOptions) base() (float64, error) {
+	switch {
+	case o.Base == 0:
+		return 2, nil
+	case o.Base > 1:
+		return o.Base, nil
+	default:
+		return 0, fmt.Errorf("core: rounding base must be > 1, got %g", o.Base)
+	}
+}
+
+// FixedPlan is the output of PlanFixed: the schedule plus the structural
+// quantities the analysis of Algorithm 3 is phrased in.
+type FixedPlan struct {
+	Schedule *sched.Schedule
+	// K is the number of cycle classes minus one: classes V_0..V_K.
+	K int
+	// Tau1 is the smallest maximum charging cycle τ_1, the base period.
+	Tau1 float64
+	// Classes[k] lists sensor IDs in class V_k (assigned cycle
+	// Base^k · τ_1).
+	Classes [][]int
+	// RoundSolutions[k] is the q-rooted TSP solution D_k covering
+	// classes V_0 ∪ ... ∪ V_k; every dispatched round reuses one of
+	// these K+1 solutions.
+	RoundSolutions []rooted.Solution
+	// RatioBound is the proven approximation-ratio bound 2(K+2).
+	RatioBound float64
+	// LowerBound is a certified lower bound on the optimal service
+	// cost, from Lemma 3 of the paper with the q-rooted MSF weight
+	// substituted for the (unknown) optimal q-rooted TSP cost:
+	// OPT >= max_k floor(T / (Base^(k+1)·τ_1)) · w(MSF_k).
+	LowerBound float64
+}
+
+// Cost returns the plan's service cost.
+func (p *FixedPlan) Cost() float64 { return p.Schedule.Cost() }
+
+// PlanFixed runs Algorithm 3 (MinTotalDistance) on the network for
+// monitoring period T: sensors are partitioned into classes V_k by
+// rounding their cycles down to Base^k · τ_1, the K+1 prefix-class
+// q-rooted TSP solutions D_0..D_K are built with Algorithm 2, and rounds
+// are dispatched at every multiple j·τ_1 < T, round j reusing D_k where
+// Base^k is the largest power of Base dividing j (capped at K).
+//
+// The returned schedule is always feasible (Lemma 2) and its cost is at
+// most 2(K+2) times the optimum (Theorem 2).
+func PlanFixed(net *wsn.Network, T float64, opt FixedOptions) (*FixedPlan, error) {
+	if net.N() == 0 {
+		return nil, fmt.Errorf("core: PlanFixed on network with no sensors")
+	}
+	if T <= 0 {
+		return nil, fmt.Errorf("core: monitoring period must be positive, got %g", T)
+	}
+	base, err := opt.base()
+	if err != nil {
+		return nil, err
+	}
+	cycles := net.Cycles()
+	space := metric.Materialize(net.Space())
+	depots := net.DepotIndices()
+
+	tau1 := net.MinCycle()
+	classes, K := classify(cycles, tau1, base)
+
+	// Build the K+1 prefix solutions D_0..D_K. D_k covers V_0..V_k.
+	sols := make([]rooted.Solution, K+1)
+	prefixes := make([][]int, K+1)
+	var prefix []int
+	for k := 0; k <= K; k++ {
+		prefix = append(prefix, classes[k]...)
+		prefixes[k] = append([]int(nil), prefix...)
+	}
+	build := func(k int) error {
+		sols[k] = rooted.Tours(space, depots, prefixes[k], opt.Rooted)
+		if opt.SortieBudget > 0 {
+			split, err := rooted.SplitTours(space, sols[k], opt.SortieBudget)
+			if err != nil {
+				return fmt.Errorf("core: splitting D_%d: %w", k, err)
+			}
+			sols[k] = split
+		}
+		return nil
+	}
+	if opt.Parallel {
+		var wg sync.WaitGroup
+		errs := make([]error, K+1)
+		for k := 0; k <= K; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				errs[k] = build(k)
+			}(k)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+	} else {
+		for k := 0; k <= K; k++ {
+			if err := build(k); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	plan := &FixedPlan{
+		K:              K,
+		Tau1:           tau1,
+		Classes:        classes,
+		RoundSolutions: sols,
+		RatioBound:     2 * (float64(K) + 2),
+		Schedule:       &sched.Schedule{T: T},
+	}
+
+	// Dispatch at every j·τ_1 strictly inside (0, T). Round j reuses
+	// D_k for k = min(K, ord_Base(j)). Tours are shared, not copied.
+	for j := 1; ; j++ {
+		t := float64(j) * tau1
+		if t >= T-1e-9 {
+			break
+		}
+		k := orderOf(j, base, K)
+		plan.Schedule.Rounds = append(plan.Schedule.Rounds, sched.Round{
+			Time:  t,
+			Tours: sols[k].Tours,
+		})
+	}
+
+	// Certified lower bound on OPT (Lemma 3 with MSF weights).
+	for k := 0; k <= K; k++ {
+		window := math.Pow(base, float64(k+1)) * tau1
+		if n := math.Floor(T / window); n >= 1 {
+			if lb := n * sols[k].ForestWeight; lb > plan.LowerBound {
+				plan.LowerBound = lb
+			}
+		}
+	}
+	return plan, nil
+}
+
+// classify partitions sensor IDs into classes by rounded cycle:
+// sensor i ∈ V_k iff base^k·τ_1 <= τ_i < base^(k+1)·τ_1. Returns the
+// classes (some possibly empty) and K, the index of the last class.
+func classify(cycles []float64, tau1, base float64) ([][]int, int) {
+	K := 0
+	ks := make([]int, len(cycles))
+	for i, c := range cycles {
+		k := classIndex(c, tau1, base)
+		ks[i] = k
+		if k > K {
+			K = k
+		}
+	}
+	classes := make([][]int, K+1)
+	for i, k := range ks {
+		classes[k] = append(classes[k], i)
+	}
+	return classes, K
+}
+
+// classIndex computes floor(log_base(c / tau1)) robustly: floating-point
+// log can land an exact power of base in the wrong class, so the result
+// is verified and nudged against the defining inequality
+// base^k <= c/tau1 < base^(k+1).
+func classIndex(c, tau1, base float64) int {
+	if c < tau1 {
+		// Callers pass tau1 = min cycle, so this means inconsistent
+		// inputs; class 0 keeps the schedule conservative (charged
+		// at every round).
+		return 0
+	}
+	ratio := c / tau1
+	k := int(math.Floor(math.Log(ratio)/math.Log(base) + 1e-9))
+	for k > 0 && math.Pow(base, float64(k)) > ratio*(1+1e-12) {
+		k--
+	}
+	for math.Pow(base, float64(k+1)) <= ratio*(1+1e-12) {
+		k++
+	}
+	return k
+}
+
+// orderOf returns min(cap, the largest k such that base^k divides j).
+// For the paper's base 2 this is the number of trailing zero bits of j.
+// Non-integer bases only ever divide j at k = 0.
+func orderOf(j int, base float64, cap int) int {
+	ib := int(base)
+	if float64(ib) != base || ib < 2 {
+		return 0
+	}
+	k := 0
+	for k < cap && j%ib == 0 {
+		k++
+		j /= ib
+	}
+	return k
+}
+
+// SortedCycles returns a copy of cycles sorted ascending; exposed for
+// tests and diagnostics mirroring the paper's τ_1 <= ... <= τ_n notation.
+func SortedCycles(net *wsn.Network) []float64 {
+	out := net.Cycles()
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzClassIndex checks the defining inequality of the cycle classes
+// for arbitrary positive inputs and bases.
+func FuzzClassIndex(f *testing.F) {
+	f.Add(5.0, 1.0, 2.0)
+	f.Add(50.0, 1.0, 2.0)
+	f.Add(1.0, 1.0, 3.0)
+	f.Add(7.3, 2.4, 4.0)
+	f.Fuzz(func(t *testing.T, c, tau1, base float64) {
+		if !(tau1 > 1e-9 && tau1 < 1e9) || !(c >= tau1 && c < 1e12) {
+			t.Skip()
+		}
+		if !(base >= 1.5 && base <= 16) {
+			t.Skip()
+		}
+		k := classIndex(c, tau1, base)
+		if k < 0 {
+			t.Fatalf("negative class %d", k)
+		}
+		lo := math.Pow(base, float64(k)) * tau1
+		hi := lo * base
+		if lo > c*(1+1e-9) {
+			t.Fatalf("classIndex(%g, %g, %g) = %d but base^k*tau1 = %g > c", c, tau1, base, k, lo)
+		}
+		if c >= hi*(1+1e-9) {
+			t.Fatalf("classIndex(%g, %g, %g) = %d but c >= base^(k+1)*tau1 = %g", c, tau1, base, k, hi)
+		}
+	})
+}
+
+// FuzzLifeClass checks the strict charge-before-expiry invariant.
+func FuzzLifeClass(f *testing.F) {
+	f.Add(3.5, 1.0)
+	f.Add(8.0, 1.0)
+	f.Add(100.0, 7.0)
+	f.Fuzz(func(t *testing.T, l, tau1 float64) {
+		if !(tau1 > 1e-6 && tau1 < 1e6) || !(l > tau1*(1+1e-9) && l < 1e9) {
+			t.Skip()
+		}
+		k := lifeClass(l, tau1)
+		if k < 0 {
+			t.Fatalf("negative class")
+		}
+		if math.Pow(2, float64(k))*tau1 >= l {
+			t.Fatalf("lifeClass(%g, %g) = %d: 2^k*tau1 = %g not strictly below l",
+				l, tau1, k, math.Pow(2, float64(k))*tau1)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/wsn"
+)
+
+// outageWindows is a representative fault-injection scenario: depot 0
+// (the busy one at the base station) fails mid-run, and a second depot
+// fails later with overlap.
+func outageWindows() []sim.Outage {
+	return []sim.Outage{
+		{Depot: 0, From: 40, To: 80},
+		{Depot: 1, From: 70, To: 90},
+	}
+}
+
+func TestGreedySurvivesChargerOutages(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		nw := genNet(t, seed, 40, 4, linearDist())
+		res, err := sim.Run(nw, energy.NewFixed(nw), &Greedy{}, sim.Config{
+			T: 150, Dt: 1, Outages: outageWindows(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deaths != 0 {
+			t.Errorf("seed %d: %d deaths during charger outages", seed, res.Deaths)
+		}
+		assertNoOutageViolations(t, nw, res, outageWindows())
+	}
+}
+
+func TestVarSurvivesChargerOutages(t *testing.T) {
+	dist := linearDist()
+	for seed := uint64(1); seed <= 4; seed++ {
+		nw := genNet(t, seed, 40, 4, dist)
+		model := slottedModel(t, nw, dist, 10, seed*7)
+		pol := NewVar(roNone())
+		res, err := sim.Run(nw, model, pol, sim.Config{
+			T: 150, Dt: 1, Outages: outageWindows(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deaths != 0 {
+			t.Errorf("seed %d: %d deaths during charger outages (%d replans)",
+				seed, res.Deaths, pol.Replans)
+		}
+		// The depot-set changes at t=40, 70, 80, 90 must each force a
+		// re-plan on top of the init plan.
+		if pol.Replans < 4 {
+			t.Errorf("seed %d: only %d replans; outages should trigger re-planning", seed, pol.Replans)
+		}
+		assertNoOutageViolations(t, nw, res, outageWindows())
+	}
+}
+
+func assertNoOutageViolations(t *testing.T, nw *wsn.Network, res sim.Result, outages []sim.Outage) {
+	t.Helper()
+	for _, round := range res.Schedule.Rounds {
+		for _, tour := range round.Tours {
+			if len(tour.Stops) == 0 {
+				continue
+			}
+			depot := tour.Depot - nw.N()
+			for _, o := range outages {
+				if depot == o.Depot && round.Time >= o.From && round.Time < o.To {
+					t.Fatalf("tour from depot %d dispatched at t=%g inside outage [%g, %g)",
+						depot, round.Time, o.From, o.To)
+				}
+			}
+		}
+	}
+}
+
+func TestOutageIncreasesCost(t *testing.T) {
+	nw := genNet(t, 9, 50, 4, linearDist())
+	base, err := sim.Run(nw, energy.NewFixed(nw), &Greedy{}, sim.Config{T: 150, Dt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depot 0 sits at the base station next to the hungriest sensors;
+	// losing it for most of the run must cost extra travel.
+	faulty, err := sim.Run(nw, energy.NewFixed(nw), &Greedy{}, sim.Config{
+		T: 150, Dt: 1, Outages: []sim.Outage{{Depot: 0, From: 10, To: 140}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Cost() <= base.Cost() {
+		t.Errorf("outage run cost %g not above baseline %g", faulty.Cost(), base.Cost())
+	}
+}
+
+func TestOutageValidation(t *testing.T) {
+	nw := genNet(t, 3, 10, 2, linearDist())
+	cases := []struct {
+		name    string
+		outages []sim.Outage
+	}{
+		{"bad depot", []sim.Outage{{Depot: 5, From: 1, To: 2}}},
+		{"empty window", []sim.Outage{{Depot: 0, From: 5, To: 5}}},
+		{"all depots down", []sim.Outage{
+			{Depot: 0, From: 10, To: 20},
+			{Depot: 1, From: 15, To: 25},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := sim.Run(nw, energy.NewFixed(nw), &Greedy{}, sim.Config{
+				T: 50, Dt: 1, Outages: tc.outages,
+			})
+			if err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+	// Non-simultaneous outages of all depots are fine.
+	_, err := sim.Run(nw, energy.NewFixed(nw), &Greedy{}, sim.Config{
+		T: 50, Dt: 1, Outages: []sim.Outage{
+			{Depot: 0, From: 10, To: 20},
+			{Depot: 1, From: 20, To: 30},
+		},
+	})
+	if err != nil {
+		t.Errorf("sequential outages rejected: %v", err)
+	}
+}

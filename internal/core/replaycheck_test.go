@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/wsn"
+)
+
+// TestPlanFixedEnergeticallyFeasible replays MinTotalDistance schedules
+// against the true energy model: gap feasibility (Lemma 2) must imply
+// zero deaths under exact energy accounting.
+func TestPlanFixedEnergeticallyFeasible(t *testing.T) {
+	dists := []wsn.CycleDist{
+		linearDist(),
+		wsn.RandomDist{TauMin: 1, TauMax: 50},
+		wsn.LinearDist{TauMin: 1, TauMax: 50, Sigma: 30},
+	}
+	for di, dist := range dists {
+		for seed := uint64(1); seed <= 4; seed++ {
+			nw := genNet(t, seed+uint64(di)*100, 50, 4, dist)
+			plan, err := PlanFixed(nw, 300, FixedOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Replay(nw, energy.NewFixed(nw), plan.Schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Deaths != 0 {
+				t.Errorf("dist %d seed %d: %d deaths under energetic replay (first at %g)",
+					di, seed, res.Deaths, res.FirstDeath)
+			}
+			if res.Cost != plan.Cost() {
+				t.Errorf("dist %d seed %d: replay cost %g != plan cost %g", di, seed, res.Cost, plan.Cost())
+			}
+		}
+	}
+}
+
+// TestGreedyEnergeticallyFeasible replays the greedy schedule too.
+func TestGreedyEnergeticallyFeasible(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		nw := genNet(t, seed, 40, 3, linearDist())
+		gres, err := RunGreedyFixed(nw, 150, 1, roNone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Replay(nw, energy.NewFixed(nw), gres.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Deaths != 0 {
+			t.Errorf("seed %d: %d deaths", seed, res.Deaths)
+		}
+	}
+}

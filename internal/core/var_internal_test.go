@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/rooted"
+	"repro/internal/sim"
+	"repro/internal/wsn"
+)
+
+func TestVarRoundClass(t *testing.T) {
+	p := &varPlan{K: 3, period: 8}
+	cases := []struct{ j, want int }{
+		{1, 0}, {2, 1}, {3, 0}, {4, 2}, {5, 0}, {6, 1}, {7, 0}, {8, 3},
+		{9, 0}, {10, 1}, {12, 2}, {16, 3}, {24, 3}, {11, 0},
+	}
+	for _, tc := range cases {
+		if got := p.roundClass(tc.j); got != tc.want {
+			t.Errorf("roundClass(%d) = %d, want %d", tc.j, got, tc.want)
+		}
+	}
+	p0 := &varPlan{K: 0, period: 1}
+	for j := 1; j <= 5; j++ {
+		if got := p0.roundClass(j); got != 0 {
+			t.Errorf("K=0 roundClass(%d) = %d", j, got)
+		}
+	}
+}
+
+func TestVarNextRegular(t *testing.T) {
+	v := &Var{
+		plan:     &varPlan{t0: 10, tau1: 2},
+		assigned: []float64{4, 8},
+	}
+	cases := []struct {
+		id   int
+		t    float64
+		want float64
+	}{
+		{0, 10, 14}, // charged at anchor: next at t0+4
+		{0, 14, 18},
+		{0, 15, 18}, // off-grid dispatch still lands on the next multiple
+		{1, 10, 18},
+		{1, 18, 26},
+	}
+	for _, tc := range cases {
+		if got := v.nextRegular(tc.id, tc.t); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("nextRegular(%d, %g) = %g, want %g", tc.id, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestSameInts(t *testing.T) {
+	if !sameInts([]int{1, 2}, []int{1, 2}) {
+		t.Error("equal slices reported different")
+	}
+	if sameInts([]int{1, 2}, []int{2, 1}) {
+		t.Error("order ignored")
+	}
+	if sameInts([]int{1}, []int{1, 2}) {
+		t.Error("length ignored")
+	}
+	if !sameInts(nil, nil) {
+		t.Error("nil != nil")
+	}
+}
+
+func TestVarDispatchTimesAlignWithPlan(t *testing.T) {
+	// With sigma=0 and integer cycles, every dispatch time must be an
+	// exact multiple of the plan's tau1.
+	dist := wsn.LinearDist{TauMin: 3, TauMax: 24, Sigma: 0}
+	nw := genNet(t, 7, 25, 3, dist)
+	pol := NewVar(rooted.Options{})
+	res, err := sim.Run(nw, energy.NewFixed(nw), pol, sim.Config{T: 90, Dt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau1 := pol.plan.tau1
+	for _, r := range res.Schedule.Rounds {
+		m := math.Mod(r.Time, tau1)
+		if m > 1e-9 && tau1-m > 1e-9 {
+			t.Fatalf("dispatch at %g not aligned to tau1=%g", r.Time, tau1)
+		}
+	}
+}
+
+func TestVarNoGuardMatchesPaperTriggerOnly(t *testing.T) {
+	// With the guard disabled and benign cycles the policy must not
+	// crash and must behave identically when the guard would never
+	// have fired anyway.
+	dist := wsn.LinearDist{TauMin: 2, TauMax: 16, Sigma: 0}
+	nw := genNet(t, 9, 25, 3, dist)
+	guarded := NewVar(rooted.Options{})
+	resG, err := sim.Run(nw, energy.NewFixed(nw), guarded, sim.Config{T: 80, Dt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := NewVar(rooted.Options{})
+	bare.NoLifetimeGuard = true
+	resB, err := sim.Run(nw, energy.NewFixed(nw), bare, sim.Config{T: 80, Dt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resG.Cost()-resB.Cost()) > 1e-9 {
+		t.Errorf("guard changed cost on stable cycles: %g vs %g", resG.Cost(), resB.Cost())
+	}
+	if resB.Deaths != 0 {
+		t.Errorf("deaths = %d on stable cycles", resB.Deaths)
+	}
+}

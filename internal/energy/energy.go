@@ -1,0 +1,126 @@
+// Package energy models how sensor energy consumption evolves over the
+// monitoring period and how sensors predict it.
+//
+// The paper's two regimes map onto two Model implementations: Fixed keeps
+// every sensor's maximum charging cycle constant over the whole period T
+// (Section V), while Slotted redraws each sensor's cycle from its
+// distribution at every ΔT slot boundary (Section VI — "the maximum
+// charging cycle τ_i(t) of each sensor does not change within each time
+// slot ΔT"). The EWMA predictor implements the paper's lightweight
+// forecasting rule ρ̂(t+1) = γ·ρ(t) + (1−γ)·ρ̂(t).
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/wsn"
+)
+
+// Model yields the true maximum charging cycle of each sensor as a
+// function of time. Cycle(i, t) must be positive, piecewise constant in t
+// with breakpoints only at multiples of SlotLength(), and defined for all
+// 0 <= t < T.
+type Model interface {
+	// Cycle returns sensor i's maximum charging cycle at time t.
+	Cycle(i int, t float64) float64
+	// Rate returns sensor i's consumption rate at time t (capacity /
+	// cycle).
+	Rate(i int, t float64) float64
+	// SlotLength returns the length ΔT of the constancy slots;
+	// math.Inf(1) for a fixed model.
+	SlotLength() float64
+}
+
+// Fixed is the fixed-cycle regime: cycles never change.
+type Fixed struct {
+	caps   []float64
+	cycles []float64
+}
+
+// NewFixed builds a Fixed model from the network's current cycles.
+func NewFixed(nw *wsn.Network) *Fixed {
+	f := &Fixed{
+		caps:   make([]float64, nw.N()),
+		cycles: make([]float64, nw.N()),
+	}
+	for i, s := range nw.Sensors {
+		f.caps[i] = s.Capacity
+		f.cycles[i] = s.Cycle
+	}
+	return f
+}
+
+// Cycle implements Model.
+func (f *Fixed) Cycle(i int, t float64) float64 { return f.cycles[i] }
+
+// Rate implements Model.
+func (f *Fixed) Rate(i int, t float64) float64 { return f.caps[i] / f.cycles[i] }
+
+// SlotLength implements Model.
+func (f *Fixed) SlotLength() float64 { return math.Inf(1) }
+
+// Slotted redraws each sensor's cycle from the network's distribution at
+// every ΔT boundary. Slot s covers [s·ΔT, (s+1)·ΔT). Draws are a pure
+// function of (seed, sensor, slot), so replay is deterministic and two
+// instances with the same seed yield identical trajectories; cycles are
+// materialized lazily per slot. A Slotted value is not safe for
+// concurrent use — give each simulation goroutine its own instance
+// (cheap, since draws are seed-pure).
+type Slotted struct {
+	nw    *wsn.Network
+	dist  wsn.CycleDist
+	dt    float64
+	src   *rng.Source
+	slots map[int][]float64 // slot -> cycles (lazily built)
+	slot0 []float64         // slot 0 pinned to the network's initial cycles
+}
+
+// NewSlotted builds a Slotted model. Slot 0 uses the network's initial
+// cycles (the sensors start consistent with their deployment draw); later
+// slots are redrawn from dist. dt must be positive.
+func NewSlotted(nw *wsn.Network, dist wsn.CycleDist, dt float64, src *rng.Source) (*Slotted, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("energy: slot length must be positive, got %g", dt)
+	}
+	s := &Slotted{
+		nw:    nw,
+		dist:  dist,
+		dt:    dt,
+		src:   src,
+		slots: make(map[int][]float64),
+		slot0: nw.Cycles(),
+	}
+	return s, nil
+}
+
+func (s *Slotted) cyclesFor(slot int) []float64 {
+	if slot <= 0 {
+		return s.slot0
+	}
+	if c, ok := s.slots[slot]; ok {
+		return c
+	}
+	c := make([]float64, s.nw.N())
+	for i := range c {
+		r := s.src.Split(uint64(slot), uint64(i))
+		c[i] = s.dist.Sample(r, s.nw.Sensors[i].Pos, s.nw.Base, s.nw.Field)
+	}
+	s.slots[slot] = c
+	return c
+}
+
+// Cycle implements Model.
+func (s *Slotted) Cycle(i int, t float64) float64 {
+	slot := int(math.Floor(t / s.dt))
+	return s.cyclesFor(slot)[i]
+}
+
+// Rate implements Model.
+func (s *Slotted) Rate(i int, t float64) float64 {
+	return s.nw.Sensors[i].Capacity / s.Cycle(i, t)
+}
+
+// SlotLength implements Model.
+func (s *Slotted) SlotLength() float64 { return s.dt }

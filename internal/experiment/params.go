@@ -1,0 +1,263 @@
+// Package experiment defines the paper's simulation study (Section VII)
+// as reproducible, parallelizable parameter sweeps: every figure of the
+// evaluation is a Sweep over one parameter, each point averaged over many
+// independent random topologies, with both the proposed algorithm and the
+// greedy baseline run on identical topologies for a paired comparison.
+//
+// Determinism: the random stream of every (figure, sweep point, topology)
+// cell is derived from the master seed by pure label hashing, so results
+// are independent of worker count and execution order.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/rng"
+	"repro/internal/rooted"
+	"repro/internal/sim"
+	"repro/internal/wsn"
+)
+
+// Algorithm labels understood by RunOne.
+const (
+	AlgoMTD           = "MinTotalDistance"
+	AlgoMTDRefined    = "MinTotalDistance-2opt"         // ablation: 2-opt/Or-opt refined tours
+	AlgoMTDVoronoi    = "MinTotalDistance-voronoi"      // ablation: cluster-first/route-second tours
+	AlgoMTDChristo    = "MinTotalDistance-christofides" // ablation: matching-based tour construction
+	AlgoMTDVar        = "MinTotalDistance-var"
+	AlgoMTDVarNoGuard = "MinTotalDistance-var-noguard" // ablation: paper-literal trigger, no lifetime guard
+	AlgoGreedy        = "Greedy"
+	AlgoChargeAll     = "ChargeAll" // naive baseline: everyone every τ_min
+
+	// Single-round q-rooted TSP evaluations (the approximation-ratio
+	// ablation): cost is one round over all sensors, not a schedule.
+	AlgoQRootedApprox  = "QRootedTSP-2approx"
+	AlgoQRootedRefined = "QRootedTSP-refined"
+	AlgoQRootedExact   = "QRootedTSP-exact"
+)
+
+// Params fully determines one simulation cell.
+type Params struct {
+	// Topology.
+	N, Q           int
+	TauMin, TauMax float64
+	Sigma          float64 // linear-distribution variance
+	DistName       string  // "linear" or "random"
+	DepotPlacement wsn.DepotPlacement
+	// Clusters > 0 switches to a clustered deployment with that many
+	// Gaussian clusters of standard deviation Spread.
+	Clusters int
+	Spread   float64
+
+	// Regime.
+	T        float64 // monitoring period
+	Dt       float64 // decision granularity (τ_min in the paper)
+	Variable bool    // variable maximum charging cycles (Section VI)
+	SlotDT   float64 // ΔT, cycle-constancy slot length (variable only)
+	Gamma    float64 // EWMA factor; 0 = 1 (exact per-slot observation)
+	// UpdateThreshold gates sensor cycle reports to the base station
+	// (MinTotalDistance-var only); 0 reports every change.
+	UpdateThreshold float64
+
+	// Algorithm knobs.
+	Rooted rooted.Options
+	Base   float64 // cycle-rounding base for PlanFixed; 0 = 2
+
+	// Randomness.
+	Seed uint64 // cell seed (already label-mixed by the sweep)
+}
+
+// Dist materializes the configured charging-cycle distribution.
+func (p Params) Dist() (wsn.CycleDist, error) {
+	switch p.DistName {
+	case "linear":
+		return wsn.LinearDist{TauMin: p.TauMin, TauMax: p.TauMax, Sigma: p.Sigma}, nil
+	case "random":
+		return wsn.RandomDist{TauMin: p.TauMin, TauMax: p.TauMax}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown distribution %q", p.DistName)
+	}
+}
+
+// Network generates the cell's topology.
+func (p Params) Network() (*wsn.Network, error) {
+	dist, err := p.Dist()
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(p.Seed).Split(0x70)
+	if p.Clusters > 0 {
+		return wsn.GenerateClustered(r, wsn.ClusteredConfig{
+			N: p.N, Q: p.Q, Clusters: p.Clusters, Spread: p.Spread,
+			Dist: dist, DepotPlacement: p.DepotPlacement,
+		})
+	}
+	return wsn.Generate(r, wsn.GenConfig{
+		N: p.N, Q: p.Q, Dist: dist, DepotPlacement: p.DepotPlacement,
+	})
+}
+
+// Outcome is the result of one algorithm on one cell.
+type Outcome struct {
+	Cost       float64
+	Deaths     int
+	Dispatches int
+	Replans    int // MinTotalDistance-var only
+	// LowerBound is the certified optimum lower bound (PlanFixed only).
+	LowerBound float64
+	// Millis is the wall-clock time the algorithm took on this cell.
+	// Unlike every other field it is not deterministic; the
+	// scalability ablation averages it over topologies.
+	Millis float64
+}
+
+// RunOne executes one algorithm on one cell. The same Params always
+// yields the same topology and cycle draws regardless of which algorithms
+// run or in what order, so per-cell comparisons are paired.
+func RunOne(algo string, p Params) (Outcome, error) {
+	net, err := p.Network()
+	if err != nil {
+		return Outcome{}, err
+	}
+	dt := p.Dt
+	if dt == 0 {
+		dt = p.TauMin
+	}
+	start := time.Now()
+	var out Outcome
+	if p.Variable {
+		out, err = runVariable(algo, p, net, dt)
+	} else {
+		out, err = runFixed(algo, p, net, dt)
+	}
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.Millis = float64(time.Since(start).Microseconds()) / 1000
+	return out, nil
+}
+
+func runFixed(algo string, p Params, net *wsn.Network, dt float64) (Outcome, error) {
+	switch algo {
+	case AlgoMTD, AlgoMTDRefined, AlgoMTDVoronoi, AlgoMTDChristo:
+		opt := core.FixedOptions{Rooted: p.Rooted, Base: p.Base}
+		switch algo {
+		case AlgoMTDRefined:
+			opt.Rooted.Refine = true
+		case AlgoMTDVoronoi:
+			opt.Rooted.Method = rooted.MethodClusterFirst
+		case AlgoMTDChristo:
+			opt.Rooted.Method = rooted.MethodChristofides
+		}
+		plan, err := core.PlanFixed(net, p.T, opt)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if err := plan.Schedule.Verify(net.Cycles(), 1e-6); err != nil {
+			return Outcome{}, fmt.Errorf("experiment: infeasible %s plan: %w", algo, err)
+		}
+		return Outcome{
+			Cost:       plan.Cost(),
+			Dispatches: plan.Schedule.Dispatches(),
+			LowerBound: plan.LowerBound,
+		}, nil
+	case AlgoGreedy:
+		res, err := core.RunGreedyFixed(net, p.T, dt, p.Rooted)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Cost: res.Cost(), Deaths: res.Deaths, Dispatches: res.Schedule.Dispatches()}, nil
+	case AlgoChargeAll:
+		return runChargeAll(p, net)
+	case AlgoQRootedApprox, AlgoQRootedRefined, AlgoQRootedExact:
+		return runQRooted(algo, p, net)
+	default:
+		return Outcome{}, fmt.Errorf("experiment: algorithm %q not valid for fixed cycles", algo)
+	}
+}
+
+// runQRooted evaluates a single q-rooted TSP round over all sensors —
+// the unit the approximation-ratio ablation compares against the exact
+// optimum on small instances.
+func runQRooted(algo string, p Params, net *wsn.Network) (Outcome, error) {
+	space := net.Space()
+	depots, sensors := net.DepotIndices(), net.SensorIndices()
+	switch algo {
+	case AlgoQRootedApprox:
+		sol := rooted.Tours(space, depots, sensors, rooted.Options{})
+		return Outcome{Cost: sol.Cost(), Dispatches: 1, LowerBound: sol.ForestWeight}, nil
+	case AlgoQRootedRefined:
+		sol := rooted.Tours(space, depots, sensors, rooted.Options{Refine: true})
+		return Outcome{Cost: sol.Cost(), Dispatches: 1, LowerBound: sol.ForestWeight}, nil
+	default:
+		sol, err := rooted.Exact(space, depots, sensors)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Cost: sol.Cost(), Dispatches: 1, LowerBound: sol.Cost()}, nil
+	}
+}
+
+func runVariable(algo string, p Params, net *wsn.Network, dt float64) (Outcome, error) {
+	if p.SlotDT <= 0 {
+		return Outcome{}, fmt.Errorf("experiment: variable regime needs SlotDT > 0, got %g", p.SlotDT)
+	}
+	dist, err := p.Dist()
+	if err != nil {
+		return Outcome{}, err
+	}
+	newModel := func() (energy.Model, error) {
+		// The model stream depends only on the cell seed, so every
+		// algorithm sees identical cycle trajectories.
+		return energy.NewSlotted(net, dist, p.SlotDT, rng.New(p.Seed).Split(0xE0))
+	}
+	switch algo {
+	case AlgoMTDVar, AlgoMTDVarNoGuard:
+		model, err := newModel()
+		if err != nil {
+			return Outcome{}, err
+		}
+		pol := core.NewVar(p.Rooted)
+		pol.NoLifetimeGuard = algo == AlgoMTDVarNoGuard
+		pol.UpdateThreshold = p.UpdateThreshold
+		res, err := sim.Run(net, model, pol, sim.Config{T: p.T, Dt: dt, Gamma: p.Gamma})
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{
+			Cost: res.Cost(), Deaths: res.Deaths,
+			Dispatches: res.Schedule.Dispatches(), Replans: pol.Replans,
+		}, nil
+	case AlgoGreedy:
+		model, err := newModel()
+		if err != nil {
+			return Outcome{}, err
+		}
+		res, err := core.RunGreedyVar(net, model, p.T, dt, p.Gamma, p.Rooted)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Cost: res.Cost(), Deaths: res.Deaths, Dispatches: res.Schedule.Dispatches()}, nil
+	default:
+		return Outcome{}, fmt.Errorf("experiment: algorithm %q not valid for variable cycles", algo)
+	}
+}
+
+// runChargeAll evaluates the naive strategy the paper dismisses in
+// Section III-C: dispatch all q chargers over *all* sensors every τ_min.
+// Its cost is one full q-rooted TSP times the number of τ_min intervals
+// in T.
+func runChargeAll(p Params, net *wsn.Network) (Outcome, error) {
+	space := net.Space()
+	sol := rooted.Tours(space, net.DepotIndices(), net.SensorIndices(), p.Rooted)
+	tau1 := net.MinCycle()
+	rounds := int(math.Ceil(p.T/tau1)) - 1
+	if rounds < 0 {
+		rounds = 0
+	}
+	return Outcome{Cost: sol.Cost() * float64(rounds), Dispatches: rounds}, nil
+}

@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Sweep is one experiment: a sequence of x-axis values, each evaluated on
+// Topologies independent random networks by every algorithm in
+// Algorithms. Cells are distributed over a worker pool; determinism comes
+// from per-cell label-derived seeds, not from execution order.
+type Sweep struct {
+	// Name identifies the sweep (e.g. "fig1a").
+	Name string
+	// XLabel names the swept parameter for output.
+	XLabel string
+	// Xs are the swept values.
+	Xs []float64
+	// Algorithms lists the RunOne algorithm labels to compare.
+	Algorithms []string
+	// Topologies is the number of random networks per point (the paper
+	// uses 100).
+	Topologies int
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Seed is the master seed.
+	Seed uint64
+	// Make builds the cell parameters for (x, topology); the sweep
+	// fills in the cell seed afterwards.
+	Make func(x float64, topo int) Params
+	// Progress, if non-nil, is called after each completed cell with
+	// (done, total). Calls may come from multiple goroutines.
+	Progress func(done, total int)
+}
+
+// Cell identifies one (x, topology) simulation instance.
+type Cell struct {
+	XIndex   int
+	Topology int
+}
+
+// Point is the aggregated result at one x value.
+type Point struct {
+	X float64
+	// Costs[algo] is the per-topology service-cost sample.
+	Costs map[string][]float64
+	// Summary[algo] aggregates Costs[algo].
+	Summary map[string]stats.Summary
+	// Deaths[algo] is the total sensor deaths across topologies
+	// (expected 0 for all implemented policies).
+	Deaths map[string]int
+	// Dispatches[algo] is the mean number of non-empty rounds.
+	Dispatches map[string]float64
+	// Replans is the mean number of re-plans (MinTotalDistance-var).
+	Replans map[string]float64
+	// Millis is the mean wall-clock milliseconds per cell
+	// (non-deterministic; for the scalability study).
+	Millis map[string]float64
+	// LowerBound is the mean certified lower bound on OPT (PlanFixed).
+	LowerBound float64
+}
+
+// Series is a completed sweep.
+type Series struct {
+	Name       string
+	XLabel     string
+	Algorithms []string
+	Points     []Point
+}
+
+// Ratio returns, for each x, the mean cost of algorithm a divided by the
+// mean cost of algorithm b — the headline comparison of the paper
+// ("MinTotalDistance is 55-60% of Greedy").
+func (s Series) Ratio(a, b string) []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Summary[a].Mean / p.Summary[b].Mean
+	}
+	return out
+}
+
+// Run executes the sweep.
+func (s Sweep) Run() (Series, error) {
+	if len(s.Xs) == 0 || s.Topologies <= 0 || len(s.Algorithms) == 0 {
+		return Series{}, fmt.Errorf("experiment: sweep %q needs xs, topologies and algorithms", s.Name)
+	}
+	if s.Make == nil {
+		return Series{}, fmt.Errorf("experiment: sweep %q has no Make", s.Name)
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type cellOut struct {
+		out map[string]Outcome
+	}
+	results := make([][]cellOut, len(s.Xs))
+	for i := range results {
+		results[i] = make([]cellOut, s.Topologies)
+	}
+
+	cells := make(chan Cell)
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	var done int64
+	total := len(s.Xs) * s.Topologies
+	master := rng.New(s.Seed)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range cells {
+				if firstErr.Load() != nil {
+					continue // drain
+				}
+				p := s.Make(s.Xs[c.XIndex], c.Topology)
+				p.Seed = master.Split(hashName(s.Name), math.Float64bits(s.Xs[c.XIndex]), uint64(c.Topology)).Seed()
+				outs := make(map[string]Outcome, len(s.Algorithms))
+				for _, algo := range s.Algorithms {
+					o, err := RunOne(algo, p)
+					if err != nil {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("experiment: %s x=%v topo=%d algo=%s: %w",
+							s.Name, s.Xs[c.XIndex], c.Topology, algo, err))
+						break
+					}
+					outs[algo] = o
+				}
+				results[c.XIndex][c.Topology] = cellOut{out: outs}
+				if s.Progress != nil {
+					s.Progress(int(atomic.AddInt64(&done, 1)), total)
+				}
+			}
+		}()
+	}
+	for xi := range s.Xs {
+		for topo := 0; topo < s.Topologies; topo++ {
+			cells <- Cell{XIndex: xi, Topology: topo}
+		}
+	}
+	close(cells)
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return Series{}, e.(error)
+	}
+
+	series := Series{Name: s.Name, XLabel: s.XLabel, Algorithms: s.Algorithms}
+	for xi, x := range s.Xs {
+		pt := Point{
+			X:          x,
+			Costs:      map[string][]float64{},
+			Summary:    map[string]stats.Summary{},
+			Deaths:     map[string]int{},
+			Dispatches: map[string]float64{},
+			Replans:    map[string]float64{},
+			Millis:     map[string]float64{},
+		}
+		var lbSum float64
+		for _, algo := range s.Algorithms {
+			costs := make([]float64, 0, s.Topologies)
+			var deaths int
+			var disp, replans, millis float64
+			for topo := 0; topo < s.Topologies; topo++ {
+				o := results[xi][topo].out[algo]
+				costs = append(costs, o.Cost)
+				deaths += o.Deaths
+				disp += float64(o.Dispatches)
+				replans += float64(o.Replans)
+				millis += o.Millis
+				if algo == AlgoMTD {
+					lbSum += o.LowerBound
+				}
+			}
+			pt.Costs[algo] = costs
+			pt.Summary[algo] = stats.Summarize(costs)
+			pt.Deaths[algo] = deaths
+			pt.Dispatches[algo] = disp / float64(s.Topologies)
+			pt.Replans[algo] = replans / float64(s.Topologies)
+			pt.Millis[algo] = millis / float64(s.Topologies)
+		}
+		pt.LowerBound = lbSum / float64(s.Topologies)
+		series.Points = append(series.Points, pt)
+	}
+	return series, nil
+}
+
+// hashName folds a sweep name into a seed label.
+func hashName(name string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV-1a 64 offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// CompareAt runs a paired t-test between two algorithms' per-topology
+// costs at point index i. Cells are paired by construction (identical
+// topologies and cycle draws), making this the appropriate significance
+// test for the figures' cost comparisons.
+func (s Series) CompareAt(i int, a, b string) (stats.PairedT, error) {
+	if i < 0 || i >= len(s.Points) {
+		return stats.PairedT{}, fmt.Errorf("experiment: point index %d out of range", i)
+	}
+	return stats.PairedTTest(s.Points[i].Costs[a], s.Points[i].Costs[b])
+}

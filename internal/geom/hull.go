@@ -1,0 +1,78 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the indices of the convex hull of pts in
+// counter-clockwise order, starting from the lowest-leftmost point
+// (Andrew's monotone chain, O(n log n)). Collinear boundary points are
+// excluded. Degenerate inputs return what is available: fewer than
+// three non-collinear points yield the at-most-two extreme indices.
+//
+// The hull perimeter is a classic lower bound on any closed tour
+// visiting all the points; the test suite uses it to cross-check the
+// TSP solvers.
+func ConvexHull(pts []Point) []int {
+	n := len(pts)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	// Deduplicate identical points: keep the first of each run.
+	uniq := idx[:0]
+	for i, id := range idx {
+		if i == 0 || pts[id] != pts[idx[i-1]] {
+			uniq = append(uniq, id)
+		}
+	}
+	idx = uniq
+	if len(idx) < 3 {
+		return append([]int(nil), idx...)
+	}
+	cross := func(o, a, b Point) float64 {
+		return (a.X-o.X)*(b.Y-o.Y) - (a.Y-o.Y)*(b.X-o.X)
+	}
+	var hull []int
+	// Lower hull.
+	for _, id := range idx {
+		for len(hull) >= 2 && cross(pts[hull[len(hull)-2]], pts[hull[len(hull)-1]], pts[id]) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, id)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(idx) - 2; i >= 0; i-- {
+		id := idx[i]
+		for len(hull) >= lower && cross(pts[hull[len(hull)-2]], pts[hull[len(hull)-1]], pts[id]) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, id)
+	}
+	return hull[:len(hull)-1] // last point repeats the first
+}
+
+// HullPerimeter returns the perimeter of the convex hull of pts — a
+// lower bound on the length of any closed tour through all of them.
+// Fewer than two distinct points give 0; exactly two give twice their
+// distance (out and back).
+func HullPerimeter(pts []Point) float64 {
+	hull := ConvexHull(pts)
+	switch len(hull) {
+	case 0, 1:
+		return 0
+	case 2:
+		return 2 * pts[hull[0]].Dist(pts[hull[1]])
+	}
+	var sum float64
+	for i := range hull {
+		sum += pts[hull[i]].Dist(pts[hull[(i+1)%len(hull)]])
+	}
+	return sum
+}

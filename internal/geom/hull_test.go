@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{
+		Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10), // corners
+		Pt(5, 5), Pt(3, 7), Pt(9, 1), // interior
+	}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull = %v, want the 4 corners", hull)
+	}
+	seen := map[int]bool{}
+	for _, h := range hull {
+		seen[h] = true
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[i] {
+			t.Errorf("corner %d missing from hull %v", i, hull)
+		}
+	}
+	if p := HullPerimeter(pts); math.Abs(p-40) > 1e-9 {
+		t.Errorf("perimeter = %g, want 40", p)
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull(nil); len(h) != 0 {
+		t.Errorf("empty hull = %v", h)
+	}
+	if h := ConvexHull([]Point{Pt(1, 1)}); len(h) != 1 {
+		t.Errorf("single hull = %v", h)
+	}
+	if p := HullPerimeter([]Point{Pt(1, 1)}); p != 0 {
+		t.Errorf("single perimeter = %g", p)
+	}
+	two := []Point{Pt(0, 0), Pt(3, 4)}
+	if p := HullPerimeter(two); p != 10 {
+		t.Errorf("two-point perimeter = %g, want 10", p)
+	}
+	// Duplicates collapse.
+	dup := []Point{Pt(1, 1), Pt(1, 1), Pt(1, 1)}
+	if h := ConvexHull(dup); len(h) != 1 {
+		t.Errorf("duplicate hull = %v", h)
+	}
+	// Collinear points: hull is the two endpoints.
+	col := []Point{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0)}
+	h := ConvexHull(col)
+	if len(h) != 2 {
+		t.Fatalf("collinear hull = %v", h)
+	}
+	if p := HullPerimeter(col); p != 6 {
+		t.Errorf("collinear perimeter = %g, want 6", p)
+	}
+}
+
+func TestConvexHullContainsAllPoints(t *testing.T) {
+	// Every input point lies inside or on the hull polygon: check via
+	// the cross-product sign against every hull edge.
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(100)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(r.Float64()*100, r.Float64()*100)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue // astronomically unlikely with float coords
+		}
+		for pi, p := range pts {
+			for i := range hull {
+				a := pts[hull[i]]
+				b := pts[hull[(i+1)%len(hull)]]
+				cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+				if cross < -1e-6 {
+					t.Fatalf("trial %d: point %d outside hull edge %d", trial, pi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestHullPerimeterBelowAnyCycle(t *testing.T) {
+	// The hull perimeter never exceeds the cycle through all points in
+	// any order.
+	r := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(r.Float64()*100, r.Float64()*100)
+		}
+		perm := r.Perm(n)
+		cycle := make([]Point, n)
+		for i, p := range perm {
+			cycle[i] = pts[p]
+		}
+		if HullPerimeter(pts) > CycleLength(cycle)+1e-9 {
+			t.Fatalf("trial %d: hull perimeter %g > random cycle %g",
+				trial, HullPerimeter(pts), CycleLength(cycle))
+		}
+	}
+}

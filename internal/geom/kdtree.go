@@ -1,0 +1,209 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// KDTree is a static 2-d tree over a fixed point set supporting
+// nearest-neighbour queries. The charger heuristics use it to find, for a
+// stranded sensor, the closest node already included in a planned charging
+// round; with n up to a few thousand sensors this turns the O(n^2) patching
+// loop of MinTotalDistance-var into O(n log n) in practice.
+//
+// The tree is immutable after construction. Queries are safe for
+// concurrent use.
+type KDTree struct {
+	pts   []Point // original points, by caller index
+	nodes []kdNode
+	root  int
+}
+
+type kdNode struct {
+	idx         int // index into pts
+	left, right int // node indices, -1 if absent
+	axis        uint8
+}
+
+// NewKDTree builds a balanced kd-tree over pts. The tree keeps its own
+// copy of the index permutation but references the caller's coordinates by
+// value, so later mutation of the input slice does not affect the tree.
+func NewKDTree(pts []Point) *KDTree {
+	t := &KDTree{pts: append([]Point(nil), pts...)}
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.nodes = make([]kdNode, 0, len(pts))
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func (t *KDTree) build(idx []int, depth int) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := uint8(depth % 2)
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := t.pts[idx[a]], t.pts[idx[b]]
+		if axis == 0 {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	mid := len(idx) / 2
+	node := kdNode{idx: idx[mid], axis: axis}
+	// Reserve our slot before recursing so child indices are stable.
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, node)
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+// Len returns the number of points in the tree.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// Point returns the i'th point as passed to NewKDTree.
+func (t *KDTree) Point(i int) Point { return t.pts[i] }
+
+// Nearest returns the index of the point nearest to p and its distance.
+// It returns (-1, +Inf) for an empty tree.
+func (t *KDTree) Nearest(p Point) (int, float64) {
+	return t.NearestSuchThat(p, nil)
+}
+
+// NearestSuchThat returns the nearest point to p among those whose index
+// satisfies ok (a nil ok admits every point). It returns (-1, +Inf) when no
+// point qualifies.
+func (t *KDTree) NearestSuchThat(p Point, ok func(i int) bool) (int, float64) {
+	best := -1
+	bestD2 := inf()
+	var walk func(ni int)
+	walk = func(ni int) {
+		if ni < 0 {
+			return
+		}
+		n := t.nodes[ni]
+		q := t.pts[n.idx]
+		if d2 := p.Dist2(q); d2 < bestD2 && (ok == nil || ok(n.idx)) {
+			bestD2, best = d2, n.idx
+		}
+		var delta float64
+		if n.axis == 0 {
+			delta = p.X - q.X
+		} else {
+			delta = p.Y - q.Y
+		}
+		near, far := n.left, n.right
+		if delta > 0 {
+			near, far = far, near
+		}
+		walk(near)
+		if delta*delta < bestD2 {
+			walk(far)
+		}
+	}
+	walk(t.root)
+	if best < 0 {
+		return -1, inf()
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+// KNearest returns the indices of the k points closest to p, ordered from
+// nearest to farthest. If the tree holds fewer than k points, all indices
+// are returned.
+func (t *KDTree) KNearest(p Point, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	// A simple bounded max-heap over (dist2, idx).
+	type cand struct {
+		d2  float64
+		idx int
+	}
+	heap := make([]cand, 0, k)
+	less := func(a, b cand) bool { return a.d2 < b.d2 } // max-heap by d2
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if less(heap[parent], heap[i]) {
+				heap[parent], heap[i] = heap[i], heap[parent]
+				i = parent
+			} else {
+				break
+			}
+		}
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(heap) && less(heap[big], heap[l]) {
+				big = l
+			}
+			if r < len(heap) && less(heap[big], heap[r]) {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			heap[i], heap[big] = heap[big], heap[i]
+			i = big
+		}
+	}
+	push := func(c cand) {
+		if len(heap) < k {
+			heap = append(heap, c)
+			siftUp(len(heap) - 1)
+			return
+		}
+		if c.d2 < heap[0].d2 {
+			heap[0] = c
+			siftDown(0)
+		}
+	}
+	bound := func() float64 {
+		if len(heap) < k {
+			return inf()
+		}
+		return heap[0].d2
+	}
+
+	var walk func(ni int)
+	walk = func(ni int) {
+		if ni < 0 {
+			return
+		}
+		n := t.nodes[ni]
+		q := t.pts[n.idx]
+		push(cand{p.Dist2(q), n.idx})
+		var delta float64
+		if n.axis == 0 {
+			delta = p.X - q.X
+		} else {
+			delta = p.Y - q.Y
+		}
+		near, far := n.left, n.right
+		if delta > 0 {
+			near, far = far, near
+		}
+		walk(near)
+		if delta*delta < bound() {
+			walk(far)
+		}
+	}
+	walk(t.root)
+
+	sort.Slice(heap, func(a, b int) bool { return heap[a].d2 < heap[b].d2 })
+	out := make([]int, len(heap))
+	for i, c := range heap {
+		out[i] = c.idx
+	}
+	return out
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,163 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomPoints(r *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(r.Float64()*1000, r.Float64()*1000)
+	}
+	return pts
+}
+
+func TestKDTreeEmpty(t *testing.T) {
+	tree := NewKDTree(nil)
+	if tree.Len() != 0 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	idx, _ := tree.Nearest(Pt(1, 2))
+	if idx != -1 {
+		t.Errorf("Nearest on empty tree = %d, want -1", idx)
+	}
+	if got := tree.KNearest(Pt(1, 2), 3); len(got) != 0 {
+		t.Errorf("KNearest on empty tree = %v", got)
+	}
+}
+
+func TestKDTreeSinglePoint(t *testing.T) {
+	tree := NewKDTree([]Point{Pt(7, 7)})
+	idx, d := tree.Nearest(Pt(7, 10))
+	if idx != 0 || d != 3 {
+		t.Errorf("Nearest = (%d, %g), want (0, 3)", idx, d)
+	}
+}
+
+func TestKDTreeNearestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(120)
+		pts := randomPoints(r, n)
+		tree := NewKDTree(pts)
+		for probe := 0; probe < 20; probe++ {
+			p := Pt(r.Float64()*1200-100, r.Float64()*1200-100)
+			wantIdx, wantD := NearestIndex(p, pts)
+			gotIdx, gotD := tree.Nearest(p)
+			if !almostEq(gotD, wantD, 1e-9) {
+				t.Fatalf("trial %d: Nearest(%v) dist = %g (idx %d), brute force %g (idx %d)",
+					trial, p, gotD, gotIdx, wantD, wantIdx)
+			}
+		}
+	}
+}
+
+func TestKDTreeNearestSuchThat(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0)}
+	tree := NewKDTree(pts)
+	idx, d := tree.NearestSuchThat(Pt(0, 0), func(i int) bool { return i >= 2 })
+	if idx != 2 || d != 2 {
+		t.Errorf("filtered nearest = (%d, %g), want (2, 2)", idx, d)
+	}
+	idx, _ = tree.NearestSuchThat(Pt(0, 0), func(i int) bool { return false })
+	if idx != -1 {
+		t.Errorf("all-rejected nearest = %d, want -1", idx)
+	}
+}
+
+func TestKDTreeKNearestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + r.Intn(80)
+		pts := randomPoints(r, n)
+		tree := NewKDTree(pts)
+		k := 1 + r.Intn(10)
+		p := Pt(r.Float64()*1000, r.Float64()*1000)
+		got := tree.KNearest(p, k)
+
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		sort.Slice(want, func(a, b int) bool { return p.Dist2(pts[want[a]]) < p.Dist2(pts[want[b]]) })
+		if k > n {
+			k = n
+		}
+		if len(got) != k {
+			t.Fatalf("trial %d: KNearest returned %d points, want %d", trial, len(got), k)
+		}
+		for i := 0; i < k; i++ {
+			if !almostEq(p.Dist2(pts[got[i]]), p.Dist2(pts[want[i]]), 1e-9) {
+				t.Fatalf("trial %d: rank %d dist %g, want %g", trial, i,
+					p.Dist2(pts[got[i]]), p.Dist2(pts[want[i]]))
+			}
+		}
+	}
+}
+
+func TestKDTreeKNearestOrdered(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	pts := randomPoints(r, 50)
+	tree := NewKDTree(pts)
+	p := Pt(500, 500)
+	got := tree.KNearest(p, 10)
+	for i := 1; i < len(got); i++ {
+		if p.Dist2(pts[got[i-1]]) > p.Dist2(pts[got[i]])+1e-9 {
+			t.Fatalf("KNearest not sorted at rank %d", i)
+		}
+	}
+	if got := tree.KNearest(p, 0); got != nil {
+		t.Errorf("KNearest(k=0) = %v, want nil", got)
+	}
+}
+
+func TestKDTreeImmutableInput(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(10, 10)}
+	tree := NewKDTree(pts)
+	pts[0] = Pt(999, 999) // mutate caller slice
+	idx, d := tree.Nearest(Pt(1, 1))
+	if idx != 0 || !almostEq(d, math2Sqrt2, 1e-9) {
+		t.Errorf("tree affected by caller mutation: (%d, %g)", idx, d)
+	}
+}
+
+const math2Sqrt2 = 1.4142135623730951
+
+func TestKDTreeDuplicatePoints(t *testing.T) {
+	pts := []Point{Pt(5, 5), Pt(5, 5), Pt(5, 5), Pt(1, 1)}
+	tree := NewKDTree(pts)
+	idx, d := tree.Nearest(Pt(5, 5))
+	if d != 0 {
+		t.Errorf("Nearest among duplicates: dist %g, want 0", d)
+	}
+	if idx < 0 || idx > 2 {
+		t.Errorf("Nearest among duplicates: idx %d", idx)
+	}
+	got := tree.KNearest(Pt(5, 5), 4)
+	if len(got) != 4 {
+		t.Errorf("KNearest with duplicates returned %d", len(got))
+	}
+}
+
+func BenchmarkKDTreeNearest(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := randomPoints(r, 1000)
+	tree := NewKDTree(pts)
+	probes := randomPoints(r, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Nearest(probes[i%len(probes)])
+	}
+}
+
+func BenchmarkBruteForceNearest(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := randomPoints(r, 1000)
+	probes := randomPoints(r, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NearestIndex(probes[i%len(probes)], pts)
+	}
+}

@@ -1,0 +1,114 @@
+package graph
+
+import "fmt"
+
+// EulerCircuit returns an Euler circuit of the connected multigraph over n
+// vertices with the given edges (parallel edges and self-loops allowed),
+// starting and ending at start. The circuit is returned as a vertex
+// sequence of length len(edges)+1 whose first and last elements are start.
+//
+// Algorithm 2 of the paper doubles every tree edge and walks the resulting
+// Eulerian multigraph; this is the Hierholzer implementation backing that
+// step. It runs in O(V + E).
+//
+// It returns an error if some vertex has odd degree, if the edges do not
+// form a single connected component containing start, or if start has no
+// incident edge while other edges exist.
+func EulerCircuit(n int, edges []Edge, start int) ([]int, error) {
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("graph: Euler start %d out of range [0,%d)", start, n)
+	}
+	if len(edges) == 0 {
+		return []int{start}, nil
+	}
+	type half struct {
+		to   int
+		pair int // index of twin half-edge
+	}
+	adj := make([][]half, n)
+	deg := make([]int, n)
+	for _, e := range edges {
+		iu := len(adj[e.U])
+		iv := len(adj[e.V])
+		if e.U == e.V {
+			// A self-loop contributes two half-edges on the same list.
+			adj[e.U] = append(adj[e.U], half{to: e.V, pair: iu + 1}, half{to: e.U, pair: iu})
+			deg[e.U] += 2
+			continue
+		}
+		adj[e.U] = append(adj[e.U], half{to: e.V, pair: iv})
+		adj[e.V] = append(adj[e.V], half{to: e.U, pair: iu})
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v, d := range deg {
+		if d%2 != 0 {
+			return nil, fmt.Errorf("graph: vertex %d has odd degree %d; no Euler circuit", v, d)
+		}
+	}
+	if deg[start] == 0 {
+		return nil, fmt.Errorf("graph: Euler start %d has no incident edges", start)
+	}
+
+	used := make([][]bool, n)
+	next := make([]int, n) // per-vertex cursor into adj
+	for v := range used {
+		used[v] = make([]bool, len(adj[v]))
+	}
+	// Iterative Hierholzer: walk until stuck, backtrack, splice.
+	stack := []int{start}
+	var circuit []int
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		advanced := false
+		for next[v] < len(adj[v]) {
+			i := next[v]
+			if used[v][i] {
+				next[v]++
+				continue
+			}
+			h := adj[v][i]
+			used[v][i] = true
+			used[h.to][h.pair] = true
+			next[v]++
+			stack = append(stack, h.to)
+			advanced = true
+			break
+		}
+		if !advanced {
+			circuit = append(circuit, v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(circuit) != len(edges)+1 {
+		return nil, fmt.Errorf("graph: multigraph not connected: circuit covers %d of %d edges",
+			len(circuit)-1, len(edges))
+	}
+	// Reverse so the walk starts at start (Hierholzer emits it reversed;
+	// for an undirected circuit either direction is valid, but a
+	// deterministic orientation keeps golden tests stable).
+	for i, j := 0, len(circuit)-1; i < j; i, j = i+1, j-1 {
+		circuit[i], circuit[j] = circuit[j], circuit[i]
+	}
+	return circuit, nil
+}
+
+// Shortcut removes repeated vertices from an Euler walk, keeping the first
+// occurrence of each vertex, and closes the tour back to its first vertex.
+// Under the triangle inequality the shortcut tour is never longer than the
+// walk. The returned slice lists each distinct vertex exactly once,
+// starting with walk[0]; the closing edge back to walk[0] is implicit.
+func Shortcut(walk []int) []int {
+	if len(walk) == 0 {
+		return nil
+	}
+	seen := make(map[int]bool, len(walk))
+	out := make([]int, 0, len(walk))
+	for _, v := range walk {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

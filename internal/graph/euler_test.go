@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkCircuit verifies that walk is a valid Euler circuit of edges.
+func checkCircuit(t *testing.T, n int, edges []Edge, start int, walk []int) {
+	t.Helper()
+	if len(walk) != len(edges)+1 {
+		t.Fatalf("walk has %d vertices, want %d", len(walk), len(edges)+1)
+	}
+	if walk[0] != start || walk[len(walk)-1] != start {
+		t.Fatalf("walk does not start/end at %d: %v", start, walk)
+	}
+	// Multiset of edges used must match the input multiset.
+	key := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	want := map[[2]int]int{}
+	for _, e := range edges {
+		want[key(e.U, e.V)]++
+	}
+	for i := 1; i < len(walk); i++ {
+		k := key(walk[i-1], walk[i])
+		want[k]--
+		if want[k] < 0 {
+			t.Fatalf("walk uses edge %v more times than available", k)
+		}
+	}
+	for k, c := range want {
+		if c != 0 {
+			t.Fatalf("edge %v not fully used (%d left)", k, c)
+		}
+	}
+}
+
+func TestEulerCircuitTriangle(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}}
+	walk, err := EulerCircuit(3, edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCircuit(t, 3, edges, 0, walk)
+}
+
+func TestEulerCircuitNoEdges(t *testing.T) {
+	walk, err := EulerCircuit(3, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walk) != 1 || walk[0] != 1 {
+		t.Errorf("walk = %v", walk)
+	}
+}
+
+func TestEulerCircuitDoubledTree(t *testing.T) {
+	// Doubling any tree must always be Eulerian — the core use in
+	// Algorithm 2.
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(60)
+		var edges []Edge
+		for v := 1; v < n; v++ {
+			p := r.Intn(v)
+			e := Edge{U: v, V: p}
+			edges = append(edges, e, e)
+		}
+		start := r.Intn(n)
+		walk, err := EulerCircuit(n, edges, start)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkCircuit(t, n, edges, start, walk)
+	}
+}
+
+func TestEulerCircuitParallelEdges(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1}, {U: 0, V: 1}, {U: 0, V: 1}, {U: 0, V: 1}}
+	walk, err := EulerCircuit(2, edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCircuit(t, 2, edges, 0, walk)
+}
+
+func TestEulerCircuitSelfLoop(t *testing.T) {
+	edges := []Edge{{U: 0, V: 0}, {U: 0, V: 1}, {U: 1, V: 0}}
+	walk, err := EulerCircuit(2, edges, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walk) != len(edges)+1 {
+		t.Fatalf("walk = %v", walk)
+	}
+}
+
+func TestEulerCircuitOddDegree(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1}}
+	if _, err := EulerCircuit(2, edges, 0); err == nil {
+		t.Error("odd degrees should be rejected")
+	}
+}
+
+func TestEulerCircuitDisconnected(t *testing.T) {
+	edges := []Edge{
+		{U: 0, V: 1}, {U: 1, V: 0},
+		{U: 2, V: 3}, {U: 3, V: 2},
+	}
+	if _, err := EulerCircuit(4, edges, 0); err == nil {
+		t.Error("disconnected multigraph should be rejected")
+	}
+}
+
+func TestEulerCircuitStartWithoutEdges(t *testing.T) {
+	edges := []Edge{{U: 1, V: 2}, {U: 2, V: 1}}
+	if _, err := EulerCircuit(3, edges, 0); err == nil {
+		t.Error("start vertex with no incident edges should be rejected")
+	}
+}
+
+func TestEulerCircuitBadStart(t *testing.T) {
+	if _, err := EulerCircuit(2, nil, 7); err == nil {
+		t.Error("out-of-range start should be rejected")
+	}
+}
+
+func TestShortcut(t *testing.T) {
+	got := Shortcut([]int{0, 1, 2, 1, 3, 0})
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Shortcut = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Shortcut = %v, want %v", got, want)
+		}
+	}
+	if got := Shortcut(nil); got != nil {
+		t.Errorf("Shortcut(nil) = %v", got)
+	}
+}

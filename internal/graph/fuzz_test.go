@@ -1,0 +1,57 @@
+package graph
+
+import "testing"
+
+// FuzzEulerDoubledTree derives a random tree from the fuzz input,
+// doubles its edges and checks the Euler circuit + shortcut pipeline
+// never breaks its invariants (run with `go test -fuzz FuzzEuler`).
+func FuzzEulerDoubledTree(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) + 1
+		if n > 200 {
+			n = 200
+			data = data[:199]
+		}
+		var edges []Edge
+		for v := 1; v < n; v++ {
+			p := int(data[v-1]) % v // parent among earlier vertices
+			e := Edge{U: v, V: p}
+			edges = append(edges, e, e)
+		}
+		start := 0
+		if n > 1 {
+			start = int(data[0]) % n
+		}
+		walk, err := EulerCircuit(n, edges, start)
+		if n == 1 {
+			// No edges: the walk is just the start vertex.
+			if err != nil {
+				t.Fatalf("singleton: %v", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("doubled tree rejected: %v", err)
+		}
+		if len(walk) != len(edges)+1 {
+			t.Fatalf("walk length %d, want %d", len(walk), len(edges)+1)
+		}
+		if walk[0] != start || walk[len(walk)-1] != start {
+			t.Fatalf("walk does not close at %d", start)
+		}
+		short := Shortcut(walk)
+		seen := make(map[int]bool, len(short))
+		for _, v := range short {
+			if seen[v] {
+				t.Fatalf("shortcut repeats vertex %d", v)
+			}
+			seen[v] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("shortcut covers %d of %d vertices", len(seen), n)
+		}
+	})
+}

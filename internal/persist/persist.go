@@ -1,0 +1,143 @@
+// Package persist serializes networks and charging schedules as JSON so
+// instances can be archived, diffed and exchanged with external tooling
+// (and so experiments can be re-run on byte-identical inputs).
+//
+// The wire format is versioned and intentionally flat; it does not try
+// to capture Go-internal structure such as shared tour slices.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/rooted"
+	"repro/internal/sched"
+	"repro/internal/wsn"
+)
+
+// FormatVersion identifies the wire format emitted by this package.
+const FormatVersion = 1
+
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+type sensorJSON struct {
+	ID       int       `json:"id"`
+	Pos      pointJSON `json:"pos"`
+	Capacity float64   `json:"capacity"`
+	Cycle    float64   `json:"cycle"`
+}
+
+type networkJSON struct {
+	Version int          `json:"version"`
+	FieldW  float64      `json:"field_width"`
+	FieldH  float64      `json:"field_height"`
+	Base    pointJSON    `json:"base"`
+	Sensors []sensorJSON `json:"sensors"`
+	Depots  []pointJSON  `json:"depots"`
+}
+
+// WriteNetwork serializes nw as JSON.
+func WriteNetwork(w io.Writer, nw *wsn.Network) error {
+	out := networkJSON{
+		Version: FormatVersion,
+		FieldW:  nw.Field.Width(),
+		FieldH:  nw.Field.Height(),
+		Base:    pointJSON{nw.Base.X, nw.Base.Y},
+	}
+	for _, s := range nw.Sensors {
+		out.Sensors = append(out.Sensors, sensorJSON{
+			ID: s.ID, Pos: pointJSON{s.Pos.X, s.Pos.Y}, Capacity: s.Capacity, Cycle: s.Cycle,
+		})
+	}
+	for _, d := range nw.Depots {
+		out.Depots = append(out.Depots, pointJSON{d.X, d.Y})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadNetwork deserializes a network written by WriteNetwork and
+// validates it.
+func ReadNetwork(r io.Reader) (*wsn.Network, error) {
+	var in networkJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decoding network: %w", err)
+	}
+	if in.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported network format version %d", in.Version)
+	}
+	nw := &wsn.Network{
+		Field: geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(in.FieldW, in.FieldH)},
+		Base:  geom.Pt(in.Base.X, in.Base.Y),
+	}
+	for _, s := range in.Sensors {
+		nw.Sensors = append(nw.Sensors, wsn.Sensor{
+			ID: s.ID, Pos: geom.Pt(s.Pos.X, s.Pos.Y), Capacity: s.Capacity, Cycle: s.Cycle,
+		})
+	}
+	for _, d := range in.Depots {
+		nw.Depots = append(nw.Depots, geom.Pt(d.X, d.Y))
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, fmt.Errorf("persist: invalid network: %w", err)
+	}
+	return nw, nil
+}
+
+type tourJSON struct {
+	Depot int     `json:"depot"`
+	Stops []int   `json:"stops,omitempty"`
+	Cost  float64 `json:"cost"`
+}
+
+type roundJSON struct {
+	Time  float64    `json:"time"`
+	Tours []tourJSON `json:"tours"`
+}
+
+type scheduleJSON struct {
+	Version int         `json:"version"`
+	T       float64     `json:"t"`
+	Rounds  []roundJSON `json:"rounds"`
+}
+
+// WriteSchedule serializes s as JSON.
+func WriteSchedule(w io.Writer, s *sched.Schedule) error {
+	out := scheduleJSON{Version: FormatVersion, T: s.T}
+	for _, r := range s.Rounds {
+		rj := roundJSON{Time: r.Time}
+		for _, t := range r.Tours {
+			rj.Tours = append(rj.Tours, tourJSON{Depot: t.Depot, Stops: t.Stops, Cost: t.Cost})
+		}
+		out.Rounds = append(out.Rounds, rj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadSchedule deserializes a schedule written by WriteSchedule.
+func ReadSchedule(r io.Reader) (*sched.Schedule, error) {
+	var in scheduleJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("persist: decoding schedule: %w", err)
+	}
+	if in.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: unsupported schedule format version %d", in.Version)
+	}
+	s := &sched.Schedule{T: in.T}
+	for _, rj := range in.Rounds {
+		rd := sched.Round{Time: rj.Time}
+		for _, tj := range rj.Tours {
+			rd.Tours = append(rd.Tours, rooted.Tour{Depot: tj.Depot, Stops: tj.Stops, Cost: tj.Cost})
+		}
+		s.Rounds = append(s.Rounds, rd)
+	}
+	return s, nil
+}

@@ -1,0 +1,107 @@
+package plot
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/experiment"
+)
+
+// WriteCSV emits the series as CSV with one row per x value: the x
+// column, then mean / ci95 / deaths / dispatches columns per algorithm.
+func WriteCSV(w io.Writer, s experiment.Series) error {
+	cw := csv.NewWriter(w)
+	header := []string{s.XLabel}
+	for _, a := range s.Algorithms {
+		header = append(header,
+			a+"_mean", a+"_ci95", a+"_deaths", a+"_dispatches", a+"_ms")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		row := []string{formatFloat(p.X)}
+		for _, a := range s.Algorithms {
+			sum := p.Summary[a]
+			row = append(row,
+				formatFloat(sum.Mean),
+				formatFloat(sum.CI95),
+				strconv.Itoa(p.Deaths[a]),
+				formatFloat(p.Dispatches[a]),
+				formatFloat(p.Millis[a]),
+			)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSVMeans parses a CSV produced by WriteCSV and returns the x values
+// and the per-algorithm mean columns, for round-trip tests and external
+// comparisons.
+func ReadCSVMeans(r io.Reader, algorithms []string) (xs []float64, means map[string][]float64, err error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(records) < 2 {
+		return nil, nil, fmt.Errorf("plot: CSV has no data rows")
+	}
+	col := map[string]int{}
+	for i, h := range records[0] {
+		col[h] = i
+	}
+	means = map[string][]float64{}
+	for _, rec := range records[1:] {
+		x, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("plot: bad x %q: %w", rec[0], err)
+		}
+		xs = append(xs, x)
+		for _, a := range algorithms {
+			ci, ok := col[a+"_mean"]
+			if !ok {
+				return nil, nil, fmt.Errorf("plot: CSV missing column %s_mean", a)
+			}
+			v, err := strconv.ParseFloat(rec[ci], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("plot: bad mean %q: %w", rec[ci], err)
+			}
+			means[a] = append(means[a], v)
+		}
+	}
+	return xs, means, nil
+}
+
+func formatFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', 10, 64)
+}
+
+// WriteRawCSV emits the per-topology raw samples: one row per
+// (x, topology, algorithm) with the sample cost — the long format
+// statistical tooling expects.
+func WriteRawCSV(w io.Writer, s experiment.Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{s.XLabel, "topology", "algorithm", "cost"}); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		for _, algo := range s.Algorithms {
+			for topo, cost := range p.Costs[algo] {
+				if err := cw.Write([]string{
+					formatFloat(p.X), strconv.Itoa(topo), algo, formatFloat(cost),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

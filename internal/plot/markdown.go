@@ -1,0 +1,46 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// WriteMarkdown renders the series as a GitHub-flavoured markdown table:
+// one row per x value, mean ± 95% CI per algorithm, and the cost ratio
+// of the first two algorithms. EXPERIMENTS.md embeds these tables.
+func WriteMarkdown(w io.Writer, s experiment.Series) error {
+	var b strings.Builder
+	b.WriteString("| " + s.XLabel + " |")
+	for _, a := range s.Algorithms {
+		b.WriteString(" " + a + " |")
+	}
+	withRatio := len(s.Algorithms) >= 2
+	if withRatio {
+		fmt.Fprintf(&b, " %s/%s |", short(s.Algorithms[0]), short(s.Algorithms[1]))
+	}
+	b.WriteString("\n|")
+	cols := len(s.Algorithms) + 1
+	if withRatio {
+		cols++
+	}
+	for i := 0; i < cols; i++ {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, p := range s.Points {
+		b.WriteString("| " + trimFloat(p.X) + " |")
+		for _, a := range s.Algorithms {
+			sum := p.Summary[a]
+			fmt.Fprintf(&b, " %.0f ± %.0f |", sum.Mean, sum.CI95)
+		}
+		if withRatio {
+			fmt.Fprintf(&b, " %.3f |", p.Summary[s.Algorithms[0]].Mean/p.Summary[s.Algorithms[1]].Mean)
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

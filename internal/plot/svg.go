@@ -1,0 +1,132 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// SVGOptions style an SVG chart; zero values pick sane defaults.
+type SVGOptions struct {
+	Width, Height int
+	Title         string
+	YLabel        string
+}
+
+func (o SVGOptions) defaults(s experiment.Series) SVGOptions {
+	if o.Width == 0 {
+		o.Width = 640
+	}
+	if o.Height == 0 {
+		o.Height = 420
+	}
+	if o.Title == "" {
+		o.Title = s.Name
+	}
+	if o.YLabel == "" {
+		o.YLabel = "Service Cost"
+	}
+	return o
+}
+
+var svgPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// WriteSVG renders the series as a standalone SVG line chart with error
+// bars (95% CI), one polyline per algorithm, mirroring the paper's
+// figures. Only the standard library is used.
+func WriteSVG(w io.Writer, s experiment.Series, opt SVGOptions) error {
+	opt = opt.defaults(s)
+	if len(s.Points) == 0 {
+		return fmt.Errorf("plot: series %q has no points", s.Name)
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 50
+	)
+	plotW := float64(opt.Width - marginL - marginR)
+	plotH := float64(opt.Height - marginT - marginB)
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMax := 0.0
+	for _, p := range s.Points {
+		xMin = math.Min(xMin, p.X)
+		xMax = math.Max(xMax, p.X)
+		for _, a := range s.Algorithms {
+			yMax = math.Max(yMax, p.Summary[a].Mean+p.Summary[a].CI95)
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	yMax *= 1.05
+	sx := func(x float64) float64 { return marginL + plotW*(x-xMin)/(xMax-xMin) }
+	sy := func(y float64) float64 { return marginT + plotH*(1-y/yMax) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opt.Width, opt.Height, opt.Width, opt.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">%s</text>`+"\n",
+		opt.Width/2, escape(opt.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT+plotH, opt.Width-marginR, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, marginT+plotH)
+	// Ticks: 5 on each axis.
+	for i := 0; i <= 5; i++ {
+		xv := xMin + (xMax-xMin)*float64(i)/5
+		yv := yMax * float64(i) / 5
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			sx(xv), marginT+plotH, sx(xv), marginT+plotH+5)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			sx(xv), marginT+plotH+18, trimFloat(xv))
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n",
+			float64(marginL-5), sy(yv), marginL, sy(yv))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%.0f</text>`+"\n",
+			float64(marginL-8), sy(yv)+4, yv)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW)/2, opt.Height-10, escape(s.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+int(plotH)/2, marginT+int(plotH)/2, escape(opt.YLabel))
+
+	// Series.
+	for ai, a := range s.Algorithms {
+		color := svgPalette[ai%len(svgPalette)]
+		var pts []string
+		for _, p := range s.Points {
+			sum := p.Summary[a]
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(p.X), sy(sum.Mean)))
+			// Error bar.
+			fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1"/>`+"\n",
+				sx(p.X), sy(sum.Mean-sum.CI95), sx(p.X), sy(sum.Mean+sum.CI95), color)
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="3" fill="%s"/>`+"\n", sx(p.X), sy(sum.Mean), color)
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.7"/>`+"\n",
+			strings.Join(pts, " "), color)
+		// Legend.
+		ly := marginT + 14 + 18*ai
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+12, ly, marginL+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			marginL+40, ly+4, escape(a))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,114 @@
+// Package plot renders experiment series for humans and pipelines: fixed
+// width ASCII tables for the terminal, CSV for downstream tooling, and
+// dependency-free SVG line charts mirroring the paper's figures.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+// WriteTable renders s as an aligned ASCII table: one row per x value,
+// one cost column (mean ± 95% CI) per algorithm, plus the cost ratio of
+// the first algorithm to the second when there are at least two.
+func WriteTable(w io.Writer, s experiment.Series) error {
+	headers := []string{s.XLabel}
+	for _, a := range s.Algorithms {
+		headers = append(headers, a+" (mean±ci)")
+	}
+	withRatio := len(s.Algorithms) >= 2
+	if withRatio {
+		headers = append(headers, fmt.Sprintf("%s/%s", short(s.Algorithms[0]), short(s.Algorithms[1])))
+	}
+	// Show mean wall-clock only when someone recorded it (the
+	// scalability study); zero-only columns would be noise elsewhere.
+	withMillis := false
+	for _, p := range s.Points {
+		for _, a := range s.Algorithms {
+			if p.Millis[a] > 0 {
+				withMillis = true
+			}
+		}
+	}
+	if withMillis {
+		headers = append(headers, "mean ms")
+	}
+	rows := [][]string{headers}
+	for _, p := range s.Points {
+		row := []string{trimFloat(p.X)}
+		for _, a := range s.Algorithms {
+			sum := p.Summary[a]
+			row = append(row, fmt.Sprintf("%.1f ±%.1f", sum.Mean, sum.CI95))
+		}
+		if withRatio {
+			r := p.Summary[s.Algorithms[0]].Mean / p.Summary[s.Algorithms[1]].Mean
+			row = append(row, fmt.Sprintf("%.3f", r))
+		}
+		if withMillis {
+			var ms float64
+			for _, a := range s.Algorithms {
+				ms += p.Millis[a]
+			}
+			row = append(row, fmt.Sprintf("%.1f", ms))
+		}
+		rows = append(rows, row)
+	}
+	return writeAligned(w, rows)
+}
+
+func short(name string) string {
+	switch name {
+	case experiment.AlgoMTD:
+		return "MTD"
+	case experiment.AlgoMTDVar:
+		return "MTDvar"
+	case experiment.AlgoMTDRefined:
+		return "MTD2opt"
+	default:
+		return name
+	}
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.4f", x)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func writeAligned(w io.Writer, rows [][]string) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			for i, width := range widths {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", width))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

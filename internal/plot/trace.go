@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// WriteTraceSVG renders a simulation health trace: the minimum and mean
+// residual-energy fractions over time (left axis, 0..1) with dispatch
+// cost spikes (scaled into the same frame, secondary series). A healthy
+// run keeps the minimum line clear of zero.
+func WriteTraceSVG(w io.Writer, trace []sim.TracePoint, title string) error {
+	if len(trace) == 0 {
+		return fmt.Errorf("plot: empty trace")
+	}
+	const (
+		width   = 760
+		height  = 380
+		marginL = 56
+		marginR = 16
+		marginT = 36
+		marginB = 42
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	tMin, tMax := trace[0].Time, trace[len(trace)-1].Time
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+	maxCost := 0.0
+	for _, p := range trace {
+		maxCost = math.Max(maxCost, p.RoundCost)
+	}
+	sx := func(t float64) float64 { return marginL + plotW*(t-tMin)/(tMax-tMin) }
+	sy := func(frac float64) float64 { return marginT + plotH*(1-frac) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		width/2, escape(title))
+	// Axes and gridlines at 0, 0.5, 1.
+	for _, f := range []float64{0, 0.5, 1} {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#ddd"/>`+"\n",
+			marginL, sy(f), width-marginR, sy(f))
+		fmt.Fprintf(&b, `<text x="%d" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%.1f</text>`+"\n",
+			marginL-6, sy(f)+4, f)
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		marginL, sy(0), width-marginR, sy(0))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, sy(0))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">time</text>`+"\n",
+		marginL+int(plotW/2), height-10)
+
+	// Dispatch cost bars (scaled to 0..0.25 of frame height).
+	if maxCost > 0 {
+		for _, p := range trace {
+			if p.RoundCost == 0 {
+				continue
+			}
+			h := 0.25 * p.RoundCost / maxCost
+			fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#bbb" stroke-width="1"/>`+"\n",
+				sx(p.Time), sy(0), sx(p.Time), sy(h))
+		}
+	}
+	writeTraceLine := func(get func(sim.TracePoint) float64, color string, label string, li int) {
+		var pts []string
+		for _, p := range trace {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(p.Time), sy(get(p))))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+			strings.Join(pts, " "), color)
+		ly := marginT + 12 + 16*li
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			marginL+10, ly, marginL+30, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			marginL+36, ly+4, escape(label))
+	}
+	writeTraceLine(func(p sim.TracePoint) float64 { return p.MeanResidualFrac }, "#1f77b4", "mean residual", 0)
+	writeTraceLine(func(p sim.TracePoint) float64 { return p.MinResidualFrac }, "#d62728", "min residual", 1)
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,119 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("same seed diverged at draw %d: %g vs %g", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 agreed on %d/64 draws", same)
+	}
+}
+
+func TestSplitIsPureFunctionOfLabels(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(3, 9)
+	// Consume the parent heavily; splitting again must be unaffected.
+	for i := 0; i < 1000; i++ {
+		parent.Float64()
+	}
+	c2 := parent.Split(3, 9)
+	for i := 0; i < 50; i++ {
+		if a, b := c1.Float64(), c2.Float64(); a != b {
+			t.Fatalf("split streams diverged at %d", i)
+		}
+	}
+}
+
+func TestSplitLabelsMatter(t *testing.T) {
+	parent := New(7)
+	streams := []*Source{
+		parent.Split(0), parent.Split(1), parent.Split(0, 0), parent.Split(1, 0), parent.Split(0, 1),
+	}
+	seen := map[uint64]int{}
+	for i, s := range streams {
+		if j, dup := seen[s.Seed()]; dup {
+			t.Fatalf("streams %d and %d share seed %d", i, j, s.Seed())
+		}
+		seen[s.Seed()] = i
+	}
+}
+
+func TestSplitDoesNotDisturbParent(t *testing.T) {
+	a, b := New(5), New(5)
+	a.Split(1, 2, 3)
+	for i := 0; i < 20; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("Split consumed parent state at draw %d", i)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform(-3,7) = %g out of range", v)
+		}
+	}
+	if v := r.Uniform(4, 4); v != 4 {
+		t.Errorf("Uniform(4,4) = %g, want 4", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Uniform(hi<lo) should panic")
+		}
+	}()
+	r.Uniform(2, 1)
+}
+
+func TestUniformMeanReasonable(t *testing.T) {
+	r := New(10)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Uniform(0, 10)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.1 {
+		t.Errorf("Uniform(0,10) mean = %g, want ~5", mean)
+	}
+}
+
+func TestMixBijectiveOnSamples(t *testing.T) {
+	// mix is a bijection; no collisions among many distinct inputs.
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return mix(a) != mix(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if got := New(123).Seed(); got != 123 {
+		t.Errorf("Seed() = %d, want 123", got)
+	}
+}

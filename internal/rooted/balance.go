@@ -1,0 +1,116 @@
+package rooted
+
+import (
+	"math"
+
+	"repro/internal/metric"
+	"repro/internal/tsp"
+)
+
+// BalanceTours post-processes a q-rooted solution towards the min-max
+// objective of the companion k-charger problem (Xu, Liang & Lin,
+// "Approximation algorithms for min-max cycle cover problems"):
+// repeatedly take the longest tour and try to hand one of its stops to
+// another tour (re-inserting at the receiver's cheapest position and
+// locally re-routing the donor) while the maximum tour length strictly
+// decreases. The total cost may grow — that is the min-max/min-sum
+// trade-off the paper's Section II discusses.
+//
+// The returned solution covers exactly the same sensors, rooted at the
+// same depots. maxMoves bounds the number of relocations (0 means a
+// default of 4x the sensor count).
+func BalanceTours(sp metric.Space, sol Solution, maxMoves int) Solution {
+	out := Solution{ForestWeight: sol.ForestWeight}
+	out.Tours = make([]Tour, len(sol.Tours))
+	for i, t := range sol.Tours {
+		out.Tours[i] = Tour{Depot: t.Depot, Stops: append([]int(nil), t.Stops...), Cost: t.Cost}
+	}
+	nStops := 0
+	for _, t := range out.Tours {
+		nStops += len(t.Stops)
+	}
+	if maxMoves <= 0 {
+		maxMoves = 4 * nStops
+	}
+	if len(out.Tours) < 2 {
+		return out
+	}
+	for move := 0; move < maxMoves; move++ {
+		// Longest tour is the donor.
+		donor := 0
+		for i, t := range out.Tours {
+			if t.Cost > out.Tours[donor].Cost {
+				donor = i
+			}
+		}
+		if len(out.Tours[donor].Stops) == 0 {
+			break
+		}
+		maxLen := out.Tours[donor].Cost
+		bestStop, bestRecv, bestNewMax := -1, -1, maxLen
+		var bestDonor, bestRecvTour Tour
+		for si, s := range out.Tours[donor].Stops {
+			donorWithout := removeStop(sp, out.Tours[donor], si)
+			for ri := range out.Tours {
+				if ri == donor {
+					continue
+				}
+				recvWith := insertCheapest(sp, out.Tours[ri], s)
+				newMax := math.Max(donorWithout.Cost, recvWith.Cost)
+				for oi, o := range out.Tours {
+					if oi != donor && oi != ri {
+						newMax = math.Max(newMax, o.Cost)
+					}
+				}
+				if newMax < bestNewMax-1e-9 {
+					bestNewMax = newMax
+					bestStop, bestRecv = si, ri
+					bestDonor, bestRecvTour = donorWithout, recvWith
+				}
+			}
+		}
+		if bestStop < 0 {
+			break // no improving relocation
+		}
+		out.Tours[donor] = bestDonor
+		out.Tours[bestRecv] = bestRecvTour
+	}
+	return out
+}
+
+// removeStop returns tour t without its si-th stop, lightly re-optimized
+// with 2-opt.
+func removeStop(sp metric.Space, t Tour, si int) Tour {
+	stops := make([]int, 0, len(t.Stops)-1)
+	stops = append(stops, t.Stops[:si]...)
+	stops = append(stops, t.Stops[si+1:]...)
+	nt := Tour{Depot: t.Depot, Stops: stops}
+	if len(stops) > 2 {
+		v := nt.Vertices()
+		v, _ = tsp.TwoOpt(sp, v, 2)
+		nt.Stops = v[1:]
+	}
+	nt.Cost = tsp.Cost(sp, nt.Vertices())
+	return nt
+}
+
+// insertCheapest inserts sensor s into tour t at the position that
+// increases its length least.
+func insertCheapest(sp metric.Space, t Tour, s int) Tour {
+	verts := t.Vertices()
+	bestPos, bestDelta := len(verts), math.Inf(1)
+	for i := 0; i < len(verts); i++ {
+		a := verts[i]
+		b := verts[(i+1)%len(verts)]
+		if delta := sp.Dist(a, s) + sp.Dist(s, b) - sp.Dist(a, b); delta < bestDelta {
+			bestPos, bestDelta = i+1, delta
+		}
+	}
+	stops := make([]int, 0, len(t.Stops)+1)
+	stops = append(stops, verts[1:bestPos]...)
+	stops = append(stops, s)
+	stops = append(stops, verts[bestPos:]...)
+	nt := Tour{Depot: t.Depot, Stops: stops}
+	nt.Cost = tsp.Cost(sp, nt.Vertices())
+	return nt
+}

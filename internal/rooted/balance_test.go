@@ -1,0 +1,74 @@
+package rooted
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBalanceToursNeverIncreasesMax(t *testing.T) {
+	r := rand.New(rand.NewSource(431))
+	for trial := 0; trial < 20; trial++ {
+		n := 12 + r.Intn(60)
+		q := 2 + r.Intn(4)
+		sp := randomSpace(r, n)
+		depots, sensors := splitIndices(r, n, q)
+		sol := Tours(sp, depots, sensors, Options{})
+		bal := BalanceTours(sp, sol, 0)
+		if bal.MaxTourCost() > sol.MaxTourCost()+1e-9 {
+			t.Fatalf("trial %d: balancing raised max %g -> %g",
+				trial, sol.MaxTourCost(), bal.MaxTourCost())
+		}
+		if err := bal.Validate(sp, depots, sensors); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBalanceToursReducesImbalanceOnSkewedInstance(t *testing.T) {
+	// A chain of sensors between two depots: the MSF hangs the whole
+	// chain off the nearer endpoint depot, leaving the other idle.
+	// Balancing must shift chain-head sensors to the idle depot and
+	// strictly reduce the maximum tour length.
+	xs := []float64{0, 30, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28}
+	sp := lineMetric(xs)
+	depots := []int{0, 1}
+	sensors := []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	sol := Tours(sp, depots, sensors, Options{})
+	bal := BalanceTours(sp, sol, 0)
+	if bal.MaxTourCost() >= sol.MaxTourCost() {
+		t.Errorf("max not reduced: %g -> %g", sol.MaxTourCost(), bal.MaxTourCost())
+	}
+	if err := bal.Validate(sp, depots, sensors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalanceToursSingleTourNoop(t *testing.T) {
+	r := rand.New(rand.NewSource(439))
+	sp := randomSpace(r, 15)
+	depots, sensors := splitIndices(r, 15, 1)
+	sol := Tours(sp, depots, sensors, Options{})
+	bal := BalanceTours(sp, sol, 0)
+	if bal.MaxTourCost() != sol.MaxTourCost() {
+		t.Errorf("single-tour balance changed cost")
+	}
+}
+
+func TestBalanceToursDoesNotMutateInput(t *testing.T) {
+	r := rand.New(rand.NewSource(443))
+	sp := randomSpace(r, 30)
+	depots, sensors := splitIndices(r, 30, 3)
+	sol := Tours(sp, depots, sensors, Options{})
+	origCosts := make([]float64, len(sol.Tours))
+	origLens := make([]int, len(sol.Tours))
+	for i, t0 := range sol.Tours {
+		origCosts[i] = t0.Cost
+		origLens[i] = len(t0.Stops)
+	}
+	BalanceTours(sp, sol, 0)
+	for i, t0 := range sol.Tours {
+		if t0.Cost != origCosts[i] || len(t0.Stops) != origLens[i] {
+			t.Fatalf("input solution mutated at tour %d", i)
+		}
+	}
+}

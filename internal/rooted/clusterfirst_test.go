@@ -1,0 +1,79 @@
+package rooted
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestClusterFirstValidAndCovering(t *testing.T) {
+	r := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + r.Intn(70)
+		q := 1 + r.Intn(5)
+		sp := randomSpace(r, n)
+		depots, sensors := splitIndices(r, n, q)
+		sol := Tours(sp, depots, sensors, Options{Method: MethodClusterFirst})
+		if err := sol.Validate(sp, depots, sensors); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.ForestWeight <= 0 && len(sensors) > 0 {
+			t.Fatalf("trial %d: missing MSF lower bound", trial)
+		}
+		if sol.Cost() < sol.ForestWeight-1e-9 {
+			t.Fatalf("trial %d: cost %g below MSF lower bound %g", trial, sol.Cost(), sol.ForestWeight)
+		}
+	}
+}
+
+func TestClusterFirstCompetitiveWithDoubleTree(t *testing.T) {
+	// Aggregate comparison: on uniform instances the two constructions
+	// should land in the same cost league (within 30% of each other).
+	r := rand.New(rand.NewSource(409))
+	var cf, dt float64
+	for trial := 0; trial < 20; trial++ {
+		sp := randomSpace(r, 80)
+		depots, sensors := splitIndices(r, 80, 4)
+		cf += Tours(sp, depots, sensors, Options{Method: MethodClusterFirst}).Cost()
+		dt += Tours(sp, depots, sensors, Options{}).Cost()
+	}
+	if cf > 1.3*dt || dt > 1.3*cf {
+		t.Errorf("constructions diverge: cluster-first %g vs double-tree %g", cf, dt)
+	}
+}
+
+func TestClusterFirstRespectsVoronoi(t *testing.T) {
+	r := rand.New(rand.NewSource(419))
+	sp := randomSpace(r, 40)
+	depots, sensors := splitIndices(r, 40, 3)
+	sol := Tours(sp, depots, sensors, Options{Method: MethodClusterFirst})
+	for _, tour := range sol.Tours {
+		for _, s := range tour.Stops {
+			for _, d := range depots {
+				if sp.Dist(s, d) < sp.Dist(s, tour.Depot)-1e-9 {
+					t.Fatalf("sensor %d routed from depot %d but %d is closer", s, tour.Depot, d)
+				}
+			}
+		}
+	}
+}
+
+func TestChristofidesMethodValidAndCheaper(t *testing.T) {
+	r := rand.New(rand.NewSource(421))
+	var chr, dbl float64
+	for trial := 0; trial < 20; trial++ {
+		n := 15 + r.Intn(70)
+		q := 1 + r.Intn(4)
+		sp := randomSpace(r, n)
+		depots, sensors := splitIndices(r, n, q)
+		c := Tours(sp, depots, sensors, Options{Method: MethodChristofides})
+		if err := c.Validate(sp, depots, sensors); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		d := Tours(sp, depots, sensors, Options{})
+		chr += c.Cost()
+		dbl += d.Cost()
+	}
+	if chr >= dbl {
+		t.Errorf("Christofides aggregate %g not below double-tree %g", chr, dbl)
+	}
+}

@@ -1,0 +1,112 @@
+package rooted
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metric"
+	"repro/internal/tsp"
+)
+
+// MaxExactSensors bounds Exact's instance size: the solver enumerates
+// every assignment of sensors to depots (q^n) and solves each group with
+// Held–Karp, so it is strictly a certification tool for small instances.
+const MaxExactSensors = 12
+
+// Exact solves the q-rooted TSP problem optimally on a small instance by
+// enumerating sensor-to-depot assignments (with branch-and-bound on the
+// running cost) and solving each depot's tour with Held–Karp. The test
+// suite and the empirical-approximation-ratio experiment use it to
+// certify Algorithm 2's factor-2 guarantee on real instances.
+//
+// It returns the optimal tours and their total cost, or an error if the
+// instance exceeds MaxExactSensors sensors or tsp.MaxHeldKarp nodes per
+// group.
+func Exact(sp metric.Space, depots, sensors []int) (Solution, error) {
+	if len(sensors) > MaxExactSensors {
+		return Solution{}, fmt.Errorf("rooted: Exact limited to %d sensors, got %d", MaxExactSensors, len(sensors))
+	}
+	if len(depots) == 0 {
+		return Solution{}, fmt.Errorf("rooted: Exact requires at least one depot")
+	}
+	q := len(depots)
+	assign := make([]int, len(sensors))
+	best := math.Inf(1)
+	var bestAssign []int
+
+	// groupCost solves one depot's tour over its assigned sensors.
+	groupCost := func(d int, cur []int) (float64, []int, error) {
+		group := append([]int{depots[d]}, cur...)
+		if len(group) == 1 {
+			return 0, nil, nil
+		}
+		sub := metric.NewSub(sp, group)
+		tour, c, err := tsp.HeldKarp(sub, 0)
+		if err != nil {
+			return 0, nil, err
+		}
+		stops := make([]int, 0, len(tour)-1)
+		for _, v := range tour[1:] {
+			stops = append(stops, group[v])
+		}
+		return c, stops, nil
+	}
+
+	var solveErr error
+	var rec func(k int)
+	rec = func(k int) {
+		if solveErr != nil {
+			return
+		}
+		if k == len(sensors) {
+			var total float64
+			for d := 0; d < q; d++ {
+				var cur []int
+				for i, a := range assign {
+					if a == d {
+						cur = append(cur, sensors[i])
+					}
+				}
+				c, _, err := groupCost(d, cur)
+				if err != nil {
+					solveErr = err
+					return
+				}
+				total += c
+				if total >= best {
+					return
+				}
+			}
+			if total < best {
+				best = total
+				bestAssign = append(bestAssign[:0], assign...)
+			}
+			return
+		}
+		for d := 0; d < q; d++ {
+			assign[k] = d
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	if solveErr != nil {
+		return Solution{}, solveErr
+	}
+
+	sol := Solution{}
+	for d := 0; d < q; d++ {
+		var cur []int
+		for i, a := range bestAssign {
+			if a == d {
+				cur = append(cur, sensors[i])
+			}
+		}
+		c, stops, err := groupCost(d, cur)
+		if err != nil {
+			return Solution{}, err
+		}
+		sol.Tours = append(sol.Tours, Tour{Depot: depots[d], Stops: stops, Cost: c})
+	}
+	sol.ForestWeight = sol.Cost() // the optimum is its own lower bound
+	return sol, nil
+}

@@ -1,0 +1,86 @@
+package rooted
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExactMatchesBruteForceQTSP(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + r.Intn(4)
+		q := 1 + r.Intn(2)
+		sp := randomSpace(r, n)
+		depots, sensors := splitIndices(r, n, q)
+		sol, err := Exact(sp, depots, sensors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceQTSP(sp, depots, sensors)
+		if math.Abs(sol.Cost()-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: Exact %g != brute force %g", trial, sol.Cost(), want)
+		}
+		if err := sol.Validate(sp, depots, sensors); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestExactNeverBeatenByApprox(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	var ratios []float64
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(6)
+		q := 1 + r.Intn(3)
+		if q >= n {
+			q = n - 1
+		}
+		sp := randomSpace(r, n)
+		depots, sensors := splitIndices(r, n, q)
+		opt, err := Exact(sp, depots, sensors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := Tours(sp, depots, sensors, Options{})
+		if approx.Cost() < opt.Cost()-1e-9 {
+			t.Fatalf("trial %d: approximation %g beats claimed optimum %g", trial, approx.Cost(), opt.Cost())
+		}
+		if opt.Cost() > 0 {
+			ratio := approx.Cost() / opt.Cost()
+			if ratio > 2+1e-9 {
+				t.Fatalf("trial %d: ratio %g exceeds 2", trial, ratio)
+			}
+			ratios = append(ratios, ratio)
+		}
+	}
+	var sum float64
+	for _, x := range ratios {
+		sum += x
+	}
+	t.Logf("empirical approximation ratio over %d instances: mean %.3f", len(ratios), sum/float64(len(ratios)))
+}
+
+func TestExactSizeGuard(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	sp := randomSpace(r, MaxExactSensors+3)
+	depots, sensors := splitIndices(r, MaxExactSensors+3, 2)
+	if _, err := Exact(sp, depots, sensors); err == nil {
+		t.Error("oversized instance accepted")
+	}
+	if _, err := Exact(sp, nil, sensors[:3]); err == nil {
+		t.Error("depot-less instance accepted")
+	}
+}
+
+func TestExactEmptySensors(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	sp := randomSpace(r, 3)
+	sol, err := Exact(sp, []int{0, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost() != 0 || len(sol.Tours) != 3 {
+		t.Errorf("empty instance: cost=%g tours=%d", sol.Cost(), len(sol.Tours))
+	}
+}

@@ -1,0 +1,206 @@
+// Package rooted implements the rooted optimization problems at the core
+// of the paper: the exact q-rooted Minimum Spanning Forest algorithm
+// (Algorithm 1) and the 2-approximate q-rooted TSP algorithm
+// (Algorithm 2).
+//
+// Given a metric space containing q depot vertices and a set of sensor
+// vertices, the q-rooted MSF problem asks for q vertex-disjoint trees that
+// together span all sensors, each tree containing a distinct depot, with
+// minimum total edge weight. The q-rooted TSP problem asks instead for q
+// closed tours with the same coverage/rooting constraints and minimum
+// total length. The MSF is solvable exactly by contracting all depots
+// into a single super-root, computing one MST, and un-contracting
+// (Lemma 1 of the paper); its weight lower-bounds the optimal tour set,
+// and doubling each tree yields tours within twice the optimum
+// (Theorem 1).
+package rooted
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+)
+
+// NotInForest marks vertices of the ambient space that take no part in a
+// Forest (they were neither depots nor requested sensors).
+const NotInForest = -2
+
+// Forest is a q-rooted spanning forest over a metric space. Parent has
+// one entry per vertex of the ambient space: Parent[d] == -1 for each
+// depot d, Parent[v] is the tree parent for each spanned sensor v, and
+// Parent[u] == NotInForest for uninvolved vertices. Weight is the total
+// edge weight.
+type Forest struct {
+	Parent []int
+	Depots []int
+	Weight float64
+}
+
+// TreeOf returns the vertices of the tree rooted at depot in preorder
+// (depot first). It returns just {depot} for an empty tree and nil if
+// depot is not a root of f.
+func (f Forest) TreeOf(depot int) []int {
+	if depot < 0 || depot >= len(f.Parent) || f.Parent[depot] != -1 {
+		return nil
+	}
+	children := make(map[int][]int)
+	for v, p := range f.Parent {
+		if p >= 0 {
+			children[p] = append(children[p], v)
+		}
+	}
+	var out []int
+	stack := []int{depot}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, v)
+		kids := children[v]
+		// Push in reverse so smaller-indexed children come out first;
+		// deterministic order keeps golden tests stable.
+		for i := len(kids) - 1; i >= 0; i-- {
+			stack = append(stack, kids[i])
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants of f against the given depot
+// and sensor sets: every depot is a root, every sensor has a parent chain
+// terminating at exactly one depot, no cycles, and Weight matches the sum
+// of parent edges under sp.
+func (f Forest) Validate(sp metric.Space, depots, sensors []int) error {
+	if len(f.Parent) != sp.Len() {
+		return fmt.Errorf("rooted: parent array has %d entries, space has %d", len(f.Parent), sp.Len())
+	}
+	isDepot := make(map[int]bool, len(depots))
+	for _, d := range depots {
+		isDepot[d] = true
+		if f.Parent[d] != -1 {
+			return fmt.Errorf("rooted: depot %d has parent %d, want -1", d, f.Parent[d])
+		}
+	}
+	var weight float64
+	for _, s := range sensors {
+		// Walk to a root, guarding against cycles.
+		v := s
+		for steps := 0; ; steps++ {
+			if steps > len(f.Parent) {
+				return fmt.Errorf("rooted: cycle reached from sensor %d", s)
+			}
+			p := f.Parent[v]
+			if p == -1 {
+				if !isDepot[v] {
+					return fmt.Errorf("rooted: sensor %d reaches root %d which is not a depot", s, v)
+				}
+				break
+			}
+			if p == NotInForest || p < 0 || p >= len(f.Parent) {
+				return fmt.Errorf("rooted: sensor %d has invalid ancestor parent %d", s, p)
+			}
+			v = p
+		}
+		weight += sp.Dist(s, f.Parent[s])
+	}
+	if math.Abs(weight-f.Weight) > 1e-6*(1+math.Abs(weight)) {
+		return fmt.Errorf("rooted: recorded weight %g != recomputed %g", f.Weight, weight)
+	}
+	return nil
+}
+
+// MSF computes an exact minimum q-rooted spanning forest of the sensors
+// over sp, one tree per depot (Algorithm 1 of the paper): the depots are
+// contracted into a super-root, a single MST is computed by Prim's
+// algorithm in O((|sensors|+q)^2), and the MST is un-contracted by mapping
+// each root edge back to the depot that realized its weight.
+//
+// Depots and sensors must be disjoint non-empty/empty index sets into sp;
+// MSF panics on overlapping sets or an empty depot list, since those are
+// caller bugs rather than data conditions.
+func MSF(sp metric.Space, depots, sensors []int) Forest {
+	if len(depots) == 0 {
+		panic("rooted: MSF requires at least one depot")
+	}
+	seen := make(map[int]bool, len(depots)+len(sensors))
+	for _, d := range depots {
+		if seen[d] {
+			panic(fmt.Sprintf("rooted: duplicate depot %d", d))
+		}
+		seen[d] = true
+	}
+	for _, s := range sensors {
+		if seen[s] {
+			panic(fmt.Sprintf("rooted: sensor %d duplicates a depot or sensor", s))
+		}
+		seen[s] = true
+	}
+
+	parent := make([]int, sp.Len())
+	for i := range parent {
+		parent[i] = NotInForest
+	}
+	for _, d := range depots {
+		parent[d] = -1
+	}
+	if len(sensors) == 0 {
+		return Forest{Parent: parent, Depots: append([]int(nil), depots...), Weight: 0}
+	}
+
+	// Contracted space: vertices 0..len(sensors)-1 are the sensors,
+	// vertex len(sensors) is the super-root r. d(v, r) is the distance
+	// from v to its nearest depot; nearest[v] records which depot
+	// realizes it so un-contraction is a table lookup.
+	nearest := make([]int, len(sensors))
+	toNearest := make([]float64, len(sensors))
+	for i, s := range sensors {
+		best, bd := -1, math.Inf(1)
+		for _, d := range depots {
+			if w := sp.Dist(s, d); w < bd {
+				best, bd = d, w
+			}
+		}
+		nearest[i], toNearest[i] = best, bd
+	}
+	c := contracted{sp: sp, sensors: sensors, toRoot: toNearest}
+	mst := graph.PrimMST(c, len(sensors)) // root Prim at the super-root
+
+	for i, s := range sensors {
+		p := mst.Parent[i]
+		switch {
+		case p == len(sensors): // edge to the super-root: un-contract
+			parent[s] = nearest[i]
+		case p >= 0:
+			parent[s] = sensors[p]
+		default:
+			// Prim rooted at the super-root never leaves a sensor
+			// unparented in a connected space.
+			panic(fmt.Sprintf("rooted: sensor %d unparented by MST", s))
+		}
+	}
+	return Forest{Parent: parent, Depots: append([]int(nil), depots...), Weight: mst.Weight}
+}
+
+// contracted adapts (sensors ∪ {super-root}) to metric.Space.
+type contracted struct {
+	sp      metric.Space
+	sensors []int
+	toRoot  []float64
+}
+
+func (c contracted) Len() int { return len(c.sensors) + 1 }
+
+func (c contracted) Dist(i, j int) float64 {
+	r := len(c.sensors)
+	switch {
+	case i == r && j == r:
+		return 0
+	case i == r:
+		return c.toRoot[j]
+	case j == r:
+		return c.toRoot[i]
+	default:
+		return c.sp.Dist(c.sensors[i], c.sensors[j])
+	}
+}

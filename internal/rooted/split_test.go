@@ -1,0 +1,127 @@
+package rooted
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSplitToursRespectsBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + r.Intn(60)
+		q := 1 + r.Intn(3)
+		sp := randomSpace(r, n)
+		depots, sensors := splitIndices(r, n, q)
+		sol := Tours(sp, depots, sensors, Options{})
+		// Budget: enough to reach every sensor but far below the
+		// unsplit tour lengths.
+		budget := 0.0
+		for _, s := range sensors {
+			for _, d := range depots {
+				budget = math.Max(budget, 2*sp.Dist(s, d))
+			}
+		}
+		budget *= 1.2
+		split, err := SplitTours(sp, sol, budget)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, tour := range split.Tours {
+			if tour.Cost > budget+1e-6 {
+				t.Fatalf("trial %d: piece cost %g > budget %g", trial, tour.Cost, budget)
+			}
+		}
+		// Coverage unchanged.
+		covered := map[int]bool{}
+		for _, tour := range split.Tours {
+			for _, s := range tour.Stops {
+				if covered[s] {
+					t.Fatalf("trial %d: sensor %d covered twice", trial, s)
+				}
+				covered[s] = true
+			}
+		}
+		if len(covered) != len(sensors) {
+			t.Fatalf("trial %d: %d of %d sensors covered", trial, len(covered), len(sensors))
+		}
+		if split.Cost() < sol.Cost()-1e-6 {
+			t.Fatalf("trial %d: splitting reduced cost %g -> %g", trial, sol.Cost(), split.Cost())
+		}
+	}
+}
+
+func TestSplitToursNoopWhenUnderBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(311))
+	sp := randomSpace(r, 20)
+	depots, sensors := splitIndices(r, 20, 2)
+	sol := Tours(sp, depots, sensors, Options{})
+	split, err := SplitTours(sp, sol, sol.MaxTourCost()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split.Tours) != len(sol.Tours) {
+		t.Errorf("tours multiplied: %d -> %d", len(sol.Tours), len(split.Tours))
+	}
+	if math.Abs(split.Cost()-sol.Cost()) > 1e-9 {
+		t.Errorf("cost changed: %g -> %g", sol.Cost(), split.Cost())
+	}
+}
+
+func TestSplitToursUnreachableStop(t *testing.T) {
+	r := rand.New(rand.NewSource(313))
+	sp := randomSpace(r, 10)
+	depots, sensors := splitIndices(r, 10, 1)
+	sol := Tours(sp, depots, sensors, Options{})
+	if sol.Cost() == 0 {
+		t.Skip("degenerate instance")
+	}
+	if _, err := SplitTours(sp, sol, 1e-6); err == nil {
+		t.Error("impossible budget accepted")
+	}
+	if _, err := SplitTours(sp, sol, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestMaxTourCost(t *testing.T) {
+	s := Solution{Tours: []Tour{{Cost: 3}, {Cost: 7}, {Cost: 5}}}
+	if got := s.MaxTourCost(); got != 7 {
+		t.Errorf("MaxTourCost = %g", got)
+	}
+	if got := (Solution{}).MaxTourCost(); got != 0 {
+		t.Errorf("empty MaxTourCost = %g", got)
+	}
+}
+
+func TestSplitToursExactCosts(t *testing.T) {
+	// Collinear instance, depot at 0, stops at -25, 10, 20 visited in
+	// that order: total tour 25+35+10+20 = 90. With budget 55, the
+	// walk closes after -25 (piece 0->-25->0, cost 50) and finishes
+	// with 0->10->20->0 (cost 40).
+	sp := lineMetric([]float64{0, -25, 10, 20})
+	sol := Solution{Tours: []Tour{{Depot: 0, Stops: []int{1, 2, 3}, Cost: 90}}}
+	split, err := SplitTours(sp, sol, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(split.Tours) != 2 {
+		t.Fatalf("pieces = %d, want 2 (%v)", len(split.Tours), split.Tours)
+	}
+	if math.Abs(split.Tours[0].Cost-50) > 1e-9 || math.Abs(split.Tours[1].Cost-40) > 1e-9 {
+		t.Errorf("piece costs = %g, %g; want 50, 40", split.Tours[0].Cost, split.Tours[1].Cost)
+	}
+}
+
+func lineMetric(xs []float64) metricLine { return metricLine{xs} }
+
+type metricLine struct{ xs []float64 }
+
+func (m metricLine) Len() int { return len(m.xs) }
+func (m metricLine) Dist(i, j int) float64 {
+	d := m.xs[i] - m.xs[j]
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

@@ -1,0 +1,186 @@
+package rooted
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+	"repro/internal/tsp"
+)
+
+// Options control the q-rooted TSP construction.
+type Options struct {
+	// Method selects the construction; the zero value is the paper's
+	// Algorithm 2 (MethodDoubleTree).
+	Method Method
+	// Refine applies 2-opt and Or-opt local search to each tour after
+	// the double-tree construction. The paper's algorithm does not
+	// refine (Refine=false reproduces Algorithm 2 verbatim); refinement
+	// only ever shortens tours, so the 2-approximation guarantee is
+	// preserved. Used by the tour-construction ablation.
+	// MethodClusterFirst always refines its routes.
+	Refine bool
+	// MaxRefineRounds bounds local-search sweeps; 0 means a default of
+	// 8, negative means until convergence.
+	MaxRefineRounds int
+}
+
+func (o Options) refineRounds() int {
+	if o.MaxRefineRounds == 0 {
+		return 8
+	}
+	return o.MaxRefineRounds
+}
+
+// Tour is one closed charging tour: the depot vertex followed by the
+// sensor vertices in visiting order; the return edge to the depot is
+// implicit. Cost is the tour's total length.
+type Tour struct {
+	Depot int
+	Stops []int
+	Cost  float64
+}
+
+// Vertices returns the tour as a single vertex sequence starting with the
+// depot, suitable for tsp.Cost.
+func (t Tour) Vertices() []int {
+	out := make([]int, 0, len(t.Stops)+1)
+	out = append(out, t.Depot)
+	out = append(out, t.Stops...)
+	return out
+}
+
+// Solution is a set of q rooted tours covering the requested sensors.
+type Solution struct {
+	Tours []Tour
+	// ForestWeight is the weight of the underlying q-rooted MSF, a
+	// certified lower bound on the optimal q-rooted TSP cost; the
+	// solution's Cost() is guaranteed to be at most twice it.
+	ForestWeight float64
+}
+
+// Cost returns the total length of all tours.
+func (s Solution) Cost() float64 {
+	var sum float64
+	for _, t := range s.Tours {
+		sum += t.Cost
+	}
+	return sum
+}
+
+// Tours computes a 2-approximate solution to the q-rooted TSP problem
+// over sp (Algorithm 2 of the paper): an exact q-rooted MSF is computed
+// by MSF, then each tree is doubled into an Euler circuit and shortcut
+// into a closed tour rooted at its depot. Empty trees yield tours with no
+// stops and zero cost, matching the paper's convention V(C_l) = {r_l},
+// w(C_l) = 0.
+func Tours(sp metric.Space, depots, sensors []int, opt Options) Solution {
+	if opt.Method == MethodClusterFirst {
+		return clusterFirst(sp, depots, sensors, opt)
+	}
+	f := MSF(sp, depots, sensors)
+	return ToursFromForest(sp, f, opt)
+}
+
+// ToursFromForest converts an existing q-rooted forest into rooted closed
+// tours, one per depot, without recomputing the forest. It is split out
+// so the variable-cycle heuristic can re-tour a patched forest.
+func ToursFromForest(sp metric.Space, f Forest, opt Options) Solution {
+	sol := Solution{ForestWeight: f.Weight}
+	for _, d := range f.Depots {
+		members := f.TreeOf(d)
+		t := Tour{Depot: d}
+		if len(members) > 1 {
+			t.Stops = tourFromTree(sp, f.Parent, members, d, opt)
+			t.Cost = tsp.Cost(sp, t.Vertices())
+		}
+		sol.Tours = append(sol.Tours, t)
+	}
+	return sol
+}
+
+// tourFromTree converts one forest component into a closed tour, by
+// edge doubling (Algorithm 2) or the Christofides construction.
+func tourFromTree(sp metric.Space, parent []int, members []int, depot int, opt Options) []int {
+	var tour []int
+	if opt.Method == MethodChristofides {
+		sub := make([]int, len(parent))
+		for i := range sub {
+			sub[i] = -1
+		}
+		for _, v := range members {
+			sub[v] = parent[v]
+		}
+		sub[depot] = -1
+		tour, _ = tsp.ChristofidesTour(sp, graph.Tree{Parent: sub}, depot)
+	} else {
+		var doubled []graph.Edge
+		for _, v := range members {
+			if p := parent[v]; p >= 0 {
+				e := graph.Edge{U: v, V: p, W: sp.Dist(v, p)}
+				doubled = append(doubled, e, e)
+			}
+		}
+		walk, err := graph.EulerCircuit(sp.Len(), doubled, depot)
+		if err != nil {
+			panic("rooted: doubled tree not Eulerian: " + err.Error())
+		}
+		tour = graph.Shortcut(walk)
+	}
+	if opt.Refine {
+		tour, _ = tsp.TwoOpt(sp, tour, opt.refineRounds())
+		tour, _ = tsp.OrOpt(sp, tour, opt.refineRounds())
+	}
+	if tour[0] != depot {
+		panic(fmt.Sprintf("rooted: tour lost its depot %d", depot))
+	}
+	return tour[1:]
+}
+
+// Validate checks that sol covers exactly the requested sensors, that
+// each tour is rooted at a distinct requested depot, that no sensor is
+// visited twice across tours, and that recorded costs match sp.
+func (s Solution) Validate(sp metric.Space, depots, sensors []int) error {
+	if len(s.Tours) != len(depots) {
+		return fmt.Errorf("rooted: %d tours for %d depots", len(s.Tours), len(depots))
+	}
+	wantDepot := make(map[int]bool, len(depots))
+	for _, d := range depots {
+		wantDepot[d] = true
+	}
+	visited := make(map[int]bool)
+	for _, t := range s.Tours {
+		if !wantDepot[t.Depot] {
+			return fmt.Errorf("rooted: tour rooted at %d which is not a requested depot", t.Depot)
+		}
+		delete(wantDepot, t.Depot)
+		for _, v := range t.Stops {
+			if visited[v] {
+				return fmt.Errorf("rooted: sensor %d visited by two tours", v)
+			}
+			visited[v] = true
+		}
+		if got, want := t.Cost, tsp.Cost(sp, t.Vertices()); abs(got-want) > 1e-6*(1+want) {
+			return fmt.Errorf("rooted: tour at depot %d records cost %g, recomputed %g", t.Depot, got, want)
+		}
+	}
+	if len(wantDepot) != 0 {
+		return fmt.Errorf("rooted: %d depots have no tour", len(wantDepot))
+	}
+	for _, v := range sensors {
+		if !visited[v] {
+			return fmt.Errorf("rooted: sensor %d not covered by any tour", v)
+		}
+	}
+	if len(visited) != len(sensors) {
+		return fmt.Errorf("rooted: tours visit %d sensors, want %d", len(visited), len(sensors))
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

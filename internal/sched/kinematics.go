@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+)
+
+// Kinematics models the physical execution of a charging round. The
+// paper assumes the time spent per charging task — travel plus charging
+// — is several orders of magnitude below sensor lifetimes and therefore
+// ignores it; this type makes the assumption checkable for a concrete
+// deployment instead of taken on faith.
+type Kinematics struct {
+	// Speed is the vehicle travel speed in metres per time unit; must
+	// be positive.
+	Speed float64
+	// ChargeTime is the time to fully charge one sensor (ultra-fast
+	// charging batteries make this near zero).
+	ChargeTime float64
+}
+
+// RoundDuration returns the wall-clock duration of the round: the
+// longest single-charger tour time (chargers move in parallel), where a
+// tour's time is its travel distance over Speed plus ChargeTime per
+// stop.
+func (k Kinematics) RoundDuration(r Round) (float64, error) {
+	if k.Speed <= 0 {
+		return 0, fmt.Errorf("sched: Kinematics.Speed must be positive, got %g", k.Speed)
+	}
+	var worst float64
+	for _, t := range r.Tours {
+		d := t.Cost/k.Speed + float64(len(t.Stops))*k.ChargeTime
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst, nil
+}
+
+// TimeScaleReport quantifies the paper's time-scale assumption for a
+// whole schedule.
+type TimeScaleReport struct {
+	// MaxRoundDuration is the longest round duration.
+	MaxRoundDuration float64
+	// MinGap is the smallest gap between consecutive dispatch times
+	// (or from a round to T for the final round).
+	MinGap float64
+	// WorstRatio is MaxRoundDuration over the gap following the
+	// slowest round — the quantity that must be << 1 for the paper's
+	// "ignore charging time" assumption to hold.
+	WorstRatio float64
+	// Violations counts rounds whose duration exceeds the gap to the
+	// next dispatch: physically impossible schedules at this speed.
+	Violations int
+}
+
+// CheckTimeScale evaluates the schedule under the given kinematics. sp
+// is unused today but reserved for future per-leg speed models; pass the
+// schedule's metric space.
+func (k Kinematics) CheckTimeScale(sp metric.Space, s *Schedule) (TimeScaleReport, error) {
+	_ = sp
+	rep := TimeScaleReport{MinGap: s.T}
+	for i, r := range s.Rounds {
+		d, err := k.RoundDuration(r)
+		if err != nil {
+			return TimeScaleReport{}, err
+		}
+		gap := s.T - r.Time
+		if i+1 < len(s.Rounds) {
+			gap = s.Rounds[i+1].Time - r.Time
+		}
+		if gap < rep.MinGap {
+			rep.MinGap = gap
+		}
+		if d > rep.MaxRoundDuration {
+			rep.MaxRoundDuration = d
+		}
+		if gap > 0 {
+			if ratio := d / gap; ratio > rep.WorstRatio {
+				rep.WorstRatio = ratio
+			}
+		}
+		if d > gap+1e-9 {
+			rep.Violations++
+		}
+	}
+	return rep, nil
+}

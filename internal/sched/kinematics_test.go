@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/rooted"
+)
+
+func TestRoundDuration(t *testing.T) {
+	r := Round{Time: 10, Tours: []rooted.Tour{
+		{Depot: 100, Stops: []int{0, 1}, Cost: 100}, // 100m / 10 + 2*1 = 12
+		{Depot: 101, Stops: []int{2}, Cost: 300},    // 300m / 10 + 1*1 = 31
+	}}
+	k := Kinematics{Speed: 10, ChargeTime: 1}
+	d, err := k.RoundDuration(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-31) > 1e-12 {
+		t.Errorf("duration = %g, want 31 (parallel chargers, slowest wins)", d)
+	}
+	if _, err := (Kinematics{}).RoundDuration(r); err == nil {
+		t.Error("zero speed accepted")
+	}
+}
+
+func TestCheckTimeScale(t *testing.T) {
+	s := &Schedule{T: 100, Rounds: []Round{
+		{Time: 10, Tours: []rooted.Tour{{Depot: 100, Stops: []int{0}, Cost: 50}}},
+		{Time: 20, Tours: []rooted.Tour{{Depot: 100, Stops: []int{0}, Cost: 200}}},
+	}}
+	var sp metric.Matrix
+	k := Kinematics{Speed: 10, ChargeTime: 0}
+	rep, err := k.CheckTimeScale(sp, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Durations: 5 and 20. Gaps: 10 (10->20) and 80 (20->T).
+	if rep.MaxRoundDuration != 20 {
+		t.Errorf("MaxRoundDuration = %g", rep.MaxRoundDuration)
+	}
+	if rep.MinGap != 10 {
+		t.Errorf("MinGap = %g", rep.MinGap)
+	}
+	if math.Abs(rep.WorstRatio-0.5) > 1e-12 { // 5/10 = 0.5 beats 20/80
+		t.Errorf("WorstRatio = %g, want 0.5", rep.WorstRatio)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("Violations = %d", rep.Violations)
+	}
+}
+
+func TestCheckTimeScaleFlagsImpossibleSchedules(t *testing.T) {
+	s := &Schedule{T: 100, Rounds: []Round{
+		{Time: 10, Tours: []rooted.Tour{{Depot: 100, Stops: []int{0}, Cost: 500}}},
+		{Time: 11, Tours: []rooted.Tour{{Depot: 100, Stops: []int{0}, Cost: 1}}},
+	}}
+	k := Kinematics{Speed: 10} // first round takes 50 >> gap 1
+	rep, err := k.CheckTimeScale(metric.Matrix{}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 1 {
+		t.Errorf("Violations = %d, want 1", rep.Violations)
+	}
+	if rep.WorstRatio < 50 {
+		t.Errorf("WorstRatio = %g", rep.WorstRatio)
+	}
+}

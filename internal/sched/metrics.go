@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ChargerMetrics summarizes one charger's workload over a schedule.
+type ChargerMetrics struct {
+	// Depot is the metric-space index of the charger's depot.
+	Depot int
+	// Distance is the total distance the charger travelled.
+	Distance float64
+	// Sorties is the number of non-empty tours it ran.
+	Sorties int
+	// SensorCharges is the number of sensor-charge events it performed.
+	SensorCharges int
+}
+
+// FleetMetrics aggregates per-charger workloads; the balance statistics
+// show how evenly the q-rooted decomposition spreads work across the
+// fleet (the min-max objective of the companion problem).
+type FleetMetrics struct {
+	PerCharger []ChargerMetrics
+	// Imbalance is max charger distance / mean charger distance (1 =
+	// perfectly balanced); 0 when no charger moved.
+	Imbalance float64
+	// BusiestShare is the busiest charger's fraction of the total
+	// distance.
+	BusiestShare float64
+}
+
+// Fleet computes per-charger metrics for s. Chargers are identified by
+// depot index; tours with no stops are ignored.
+func (s *Schedule) Fleet() FleetMetrics {
+	byDepot := map[int]*ChargerMetrics{}
+	for _, r := range s.Rounds {
+		for _, t := range r.Tours {
+			if len(t.Stops) == 0 {
+				continue
+			}
+			m, ok := byDepot[t.Depot]
+			if !ok {
+				m = &ChargerMetrics{Depot: t.Depot}
+				byDepot[t.Depot] = m
+			}
+			m.Distance += t.Cost
+			m.Sorties++
+			m.SensorCharges += len(t.Stops)
+		}
+	}
+	fm := FleetMetrics{}
+	depots := make([]int, 0, len(byDepot))
+	for d := range byDepot {
+		depots = append(depots, d)
+	}
+	sort.Ints(depots)
+	var total, max float64
+	for _, d := range depots {
+		fm.PerCharger = append(fm.PerCharger, *byDepot[d])
+		total += byDepot[d].Distance
+		if byDepot[d].Distance > max {
+			max = byDepot[d].Distance
+		}
+	}
+	if total > 0 && len(depots) > 0 {
+		mean := total / float64(len(depots))
+		fm.Imbalance = max / mean
+		fm.BusiestShare = max / total
+	}
+	return fm
+}
+
+// String implements fmt.Stringer with one line per charger.
+func (f FleetMetrics) String() string {
+	out := ""
+	for _, c := range f.PerCharger {
+		out += fmt.Sprintf("depot %d: %.0f m over %d sorties, %d charges\n",
+			c.Depot, c.Distance, c.Sorties, c.SensorCharges)
+	}
+	out += fmt.Sprintf("imbalance %.2f, busiest share %.2f", f.Imbalance, f.BusiestShare)
+	return out
+}

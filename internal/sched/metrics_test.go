@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rooted"
+)
+
+func TestFleetMetrics(t *testing.T) {
+	s := &Schedule{T: 100, Rounds: []Round{
+		{Time: 10, Tours: []rooted.Tour{
+			{Depot: 100, Stops: []int{0, 1}, Cost: 30},
+			{Depot: 101, Stops: nil, Cost: 0}, // empty: ignored
+		}},
+		{Time: 20, Tours: []rooted.Tour{
+			{Depot: 100, Stops: []int{0}, Cost: 10},
+			{Depot: 102, Stops: []int{2}, Cost: 20},
+		}},
+	}}
+	fm := s.Fleet()
+	if len(fm.PerCharger) != 2 {
+		t.Fatalf("chargers = %d, want 2", len(fm.PerCharger))
+	}
+	c100 := fm.PerCharger[0]
+	if c100.Depot != 100 || c100.Distance != 40 || c100.Sorties != 2 || c100.SensorCharges != 3 {
+		t.Errorf("charger 100 = %+v", c100)
+	}
+	// total 60, max 40, mean 30 -> imbalance 4/3, share 2/3.
+	if math.Abs(fm.Imbalance-4.0/3) > 1e-12 {
+		t.Errorf("imbalance = %g", fm.Imbalance)
+	}
+	if math.Abs(fm.BusiestShare-2.0/3) > 1e-12 {
+		t.Errorf("busiest share = %g", fm.BusiestShare)
+	}
+	if !strings.Contains(fm.String(), "depot 100") {
+		t.Error("String() missing charger line")
+	}
+}
+
+func TestFleetMetricsEmpty(t *testing.T) {
+	fm := (&Schedule{T: 10}).Fleet()
+	if len(fm.PerCharger) != 0 || fm.Imbalance != 0 || fm.BusiestShare != 0 {
+		t.Errorf("empty fleet = %+v", fm)
+	}
+}

@@ -1,0 +1,154 @@
+// Package sched defines charging schedules — the objects the paper's
+// optimization problem ranges over — and verifies their feasibility.
+//
+// A charging scheduling (C_j, t_j) dispatches all q mobile chargers at
+// time t_j on closed tours C_j = {C_j,1 ... C_j,q}, one per depot; every
+// sensor visited is recharged to full capacity. A schedule is feasible
+// for maximum charging cycles τ if, for every sensor, the gap between
+// consecutive charges — including the implicit full charge at t = 0 and
+// the gap to the end of the monitoring period T — never exceeds τ_i.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rooted"
+)
+
+// Round is one charging scheduling: the q tours dispatched at Time.
+type Round struct {
+	Time  float64
+	Tours []rooted.Tour
+}
+
+// Cost returns the total tour length of the round.
+func (r Round) Cost() float64 {
+	var sum float64
+	for _, t := range r.Tours {
+		sum += t.Cost
+	}
+	return sum
+}
+
+// Sensors returns the IDs of all sensors charged in the round, in tour
+// order.
+func (r Round) Sensors() []int {
+	var out []int
+	for _, t := range r.Tours {
+		out = append(out, t.Stops...)
+	}
+	return out
+}
+
+// Schedule is a series of charging schedulings ordered by dispatch time.
+type Schedule struct {
+	Rounds []Round
+	// T is the monitoring period the schedule was built for.
+	T float64
+}
+
+// Cost returns the service cost: the total travelled distance across all
+// rounds (the paper's objective).
+func (s *Schedule) Cost() float64 {
+	var sum float64
+	for _, r := range s.Rounds {
+		sum += r.Cost()
+	}
+	return sum
+}
+
+// Dispatches returns the number of rounds with at least one charged
+// sensor.
+func (s *Schedule) Dispatches() int {
+	n := 0
+	for _, r := range s.Rounds {
+		if len(r.Sensors()) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ChargeTimes returns, for each of n sensors, the sorted times at which
+// the schedule charges it (t = 0 not included).
+func (s *Schedule) ChargeTimes(n int) [][]float64 {
+	times := make([][]float64, n)
+	for _, r := range s.Rounds {
+		for _, id := range r.Sensors() {
+			if id >= 0 && id < n {
+				times[id] = append(times[id], r.Time)
+			}
+		}
+	}
+	for i := range times {
+		sort.Float64s(times[i])
+	}
+	return times
+}
+
+// Verify checks feasibility of s against fixed maximum charging cycles:
+// every sensor i must be charged with gaps of at most cycles[i], counting
+// the initial full charge at time 0 and the tail gap to T. It also checks
+// that rounds are time-ordered within [0, T). eps absorbs floating-point
+// slack in gap comparisons.
+func (s *Schedule) Verify(cycles []float64, eps float64) error {
+	last := math.Inf(-1)
+	for j, r := range s.Rounds {
+		if r.Time <= 0 || r.Time >= s.T {
+			return fmt.Errorf("sched: round %d dispatched at %g outside (0, %g)", j, r.Time, s.T)
+		}
+		if r.Time < last {
+			return fmt.Errorf("sched: round %d at time %g before previous round at %g", j, r.Time, last)
+		}
+		last = r.Time
+	}
+	times := s.ChargeTimes(len(cycles))
+	for i, tc := range times {
+		prev := 0.0 // full charge at deployment
+		for _, t := range tc {
+			if gap := t - prev; gap > cycles[i]+eps {
+				return fmt.Errorf("sched: sensor %d gap %g > cycle %g (charge at %g after %g)",
+					i, gap, cycles[i], t, prev)
+			}
+			prev = t
+		}
+		if gap := s.T - prev; gap > cycles[i]+eps {
+			return fmt.Errorf("sched: sensor %d tail gap %g > cycle %g (last charge at %g, T=%g)",
+				i, gap, cycles[i], prev, s.T)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a schedule for experiment output.
+type Stats struct {
+	Cost       float64
+	Rounds     int
+	Dispatches int
+	// SensorCharges is the total number of sensor-charge events.
+	SensorCharges int
+	// MeanTourLen is the mean length of non-empty tours.
+	MeanTourLen float64
+}
+
+// Summarize computes Stats for s.
+func (s *Schedule) Summarize() Stats {
+	st := Stats{Cost: s.Cost(), Rounds: len(s.Rounds), Dispatches: s.Dispatches()}
+	nonEmpty := 0
+	var totalLen float64
+	for _, r := range s.Rounds {
+		st.SensorCharges += len(r.Sensors())
+		for _, t := range r.Tours {
+			if len(t.Stops) > 0 {
+				nonEmpty++
+				totalLen += t.Cost
+			}
+		}
+	}
+	if nonEmpty > 0 {
+		st.MeanTourLen = totalLen / float64(nonEmpty)
+	}
+	return st
+}

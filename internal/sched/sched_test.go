@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rooted"
+)
+
+func tour(depot int, cost float64, stops ...int) rooted.Tour {
+	return rooted.Tour{Depot: depot, Stops: stops, Cost: cost}
+}
+
+func TestRoundCostAndSensors(t *testing.T) {
+	r := Round{Time: 5, Tours: []rooted.Tour{
+		tour(100, 10, 0, 1),
+		tour(101, 0),
+		tour(102, 7.5, 2),
+	}}
+	if got := r.Cost(); got != 17.5 {
+		t.Errorf("Cost = %g", got)
+	}
+	got := r.Sensors()
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Sensors = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sensors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleCostAndDispatches(t *testing.T) {
+	s := &Schedule{T: 100, Rounds: []Round{
+		{Time: 10, Tours: []rooted.Tour{tour(100, 5, 0)}},
+		{Time: 20, Tours: []rooted.Tour{tour(100, 0)}}, // empty round
+		{Time: 30, Tours: []rooted.Tour{tour(100, 3, 1)}},
+	}}
+	if s.Cost() != 8 {
+		t.Errorf("Cost = %g", s.Cost())
+	}
+	if s.Dispatches() != 2 {
+		t.Errorf("Dispatches = %d", s.Dispatches())
+	}
+}
+
+func TestChargeTimes(t *testing.T) {
+	s := &Schedule{T: 100, Rounds: []Round{
+		{Time: 30, Tours: []rooted.Tour{tour(100, 1, 0, 1)}},
+		{Time: 10, Tours: []rooted.Tour{tour(100, 1, 1)}},
+	}}
+	times := s.ChargeTimes(2)
+	if len(times[0]) != 1 || times[0][0] != 30 {
+		t.Errorf("sensor 0 times = %v", times[0])
+	}
+	if len(times[1]) != 2 || times[1][0] != 10 || times[1][1] != 30 {
+		t.Errorf("sensor 1 times (sorted) = %v", times[1])
+	}
+	// Out-of-range IDs are ignored, not panicking.
+	s2 := &Schedule{T: 100, Rounds: []Round{
+		{Time: 10, Tours: []rooted.Tour{tour(100, 1, 7)}},
+	}}
+	if got := s2.ChargeTimes(2); len(got[0]) != 0 && len(got[1]) != 0 {
+		t.Errorf("out-of-range sensor leaked: %v", got)
+	}
+}
+
+func TestVerifyFeasible(t *testing.T) {
+	// Sensor 0 (cycle 15) charged at 10, 20; sensor 1 (cycle 40) at 20.
+	s := &Schedule{T: 50, Rounds: []Round{
+		{Time: 10, Tours: []rooted.Tour{tour(100, 1, 0)}},
+		{Time: 20, Tours: []rooted.Tour{tour(100, 1, 0, 1)}},
+		{Time: 35, Tours: []rooted.Tour{tour(100, 1, 0)}},
+	}}
+	if err := s.Verify([]float64{15, 40}, 1e-9); err != nil {
+		t.Errorf("feasible schedule rejected: %v", err)
+	}
+}
+
+func TestVerifyDetectsGapViolations(t *testing.T) {
+	// Initial gap too long.
+	s := &Schedule{T: 50, Rounds: []Round{
+		{Time: 20, Tours: []rooted.Tour{tour(100, 1, 0)}},
+	}}
+	if err := s.Verify([]float64{15, 100}, 1e-9); err == nil {
+		t.Error("initial gap 20 > cycle 15 accepted")
+	}
+	// Mid gap too long.
+	s = &Schedule{T: 50, Rounds: []Round{
+		{Time: 10, Tours: []rooted.Tour{tour(100, 1, 0)}},
+		{Time: 40, Tours: []rooted.Tour{tour(100, 1, 0)}},
+	}}
+	if err := s.Verify([]float64{15, 100}, 1e-9); err == nil {
+		t.Error("mid gap 30 > 15 accepted")
+	}
+	// Tail gap too long.
+	s = &Schedule{T: 50, Rounds: []Round{
+		{Time: 10, Tours: []rooted.Tour{tour(100, 1, 0)}},
+		{Time: 20, Tours: []rooted.Tour{tour(100, 1, 0)}},
+	}}
+	if err := s.Verify([]float64{15, 100}, 1e-9); err == nil {
+		t.Error("tail gap 30 > 15 accepted")
+	}
+	// Never charged at all, cycle < T.
+	s = &Schedule{T: 50}
+	if err := s.Verify([]float64{15}, 1e-9); err == nil {
+		t.Error("never-charged sensor accepted")
+	}
+	// Never charged but cycle >= T is fine.
+	if err := s.Verify([]float64{60}, 1e-9); err != nil {
+		t.Errorf("long-cycle sensor rejected: %v", err)
+	}
+}
+
+func TestVerifyDetectsBadTimes(t *testing.T) {
+	s := &Schedule{T: 50, Rounds: []Round{{Time: 0, Tours: []rooted.Tour{tour(100, 1, 0)}}}}
+	if err := s.Verify([]float64{100}, 1e-9); err == nil {
+		t.Error("t=0 round accepted")
+	}
+	s = &Schedule{T: 50, Rounds: []Round{{Time: 50, Tours: []rooted.Tour{tour(100, 1, 0)}}}}
+	if err := s.Verify([]float64{100}, 1e-9); err == nil {
+		t.Error("t=T round accepted")
+	}
+	s = &Schedule{T: 50, Rounds: []Round{
+		{Time: 30, Tours: []rooted.Tour{tour(100, 1, 0)}},
+		{Time: 10, Tours: []rooted.Tour{tour(100, 1, 0)}},
+	}}
+	if err := s.Verify([]float64{100}, 1e-9); err == nil {
+		t.Error("unordered rounds accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := &Schedule{T: 100, Rounds: []Round{
+		{Time: 10, Tours: []rooted.Tour{tour(100, 4, 0, 1), tour(101, 0)}},
+		{Time: 20, Tours: []rooted.Tour{tour(100, 6, 2)}},
+	}}
+	st := s.Summarize()
+	if st.Cost != 10 || st.Rounds != 2 || st.Dispatches != 2 || st.SensorCharges != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.MeanTourLen-5) > 1e-12 {
+		t.Errorf("MeanTourLen = %g, want 5 (empty tours excluded)", st.MeanTourLen)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := &Schedule{T: 100}
+	st := s.Summarize()
+	if st.Cost != 0 || st.MeanTourLen != 0 || st.Dispatches != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}

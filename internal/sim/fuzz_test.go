@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/rooted"
+	"repro/internal/sched"
+	"repro/internal/wsn"
+)
+
+// FuzzVerifyReplayAgree is a differential fuzzer: for fixed consumption
+// rates, the paper's combinatorial feasibility check (max inter-charge
+// gap vs cycle) and the exact energetic replay must reach the same
+// verdict on any schedule. The schedule and cycles are derived from the
+// fuzz input.
+func FuzzVerifyReplayAgree(f *testing.F) {
+	f.Add([]byte{10, 3, 1, 0, 5, 1, 9, 2, 200})
+	f.Add([]byte{4, 4, 4, 4, 0, 0, 1, 1, 2, 2})
+	f.Add([]byte{255, 1, 128, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip()
+		}
+		const nSensors = 3
+		// Cycles in [1, 16] from the first bytes.
+		nw := &wsn.Network{
+			Field:  geom.Square(100),
+			Base:   geom.Pt(50, 50),
+			Depots: []geom.Point{geom.Pt(0, 0)},
+		}
+		for i := 0; i < nSensors; i++ {
+			nw.Sensors = append(nw.Sensors, wsn.Sensor{
+				ID: i, Pos: geom.Pt(float64(10+10*i), 10),
+				Capacity: 1,
+				Cycle:    1 + float64(data[i%len(data)]%16),
+			})
+		}
+		// Schedule over T = 20: each remaining byte contributes one
+		// round at a strictly increasing time charging one sensor.
+		const T = 20
+		s := &sched.Schedule{T: T}
+		timeCursor := 0.0
+		for _, b := range data[nSensors:] {
+			timeCursor += 0.5 + float64(b%8)/2 // strictly increasing
+			if timeCursor >= T {
+				break
+			}
+			id := int(b) % nSensors
+			s.Rounds = append(s.Rounds, sched.Round{
+				Time:  timeCursor,
+				Tours: []rooted.Tour{{Depot: nw.DepotIndex(0), Stops: []int{id}, Cost: 1}},
+			})
+		}
+		gapErr := s.Verify(nw.Cycles(), 1e-9)
+		rep, err := Replay(nw, energy.NewFixed(nw), s)
+		if err != nil {
+			t.Fatalf("replay rejected a structurally valid schedule: %v", err)
+		}
+		if (gapErr == nil) != (rep.Deaths == 0) {
+			t.Fatalf("verifiers disagree: gap=%v deaths=%d (first %g)\ncycles=%v rounds=%d",
+				gapErr, rep.Deaths, rep.FirstDeath, nw.Cycles(), len(s.Rounds))
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/rooted"
+	"repro/internal/sched"
+)
+
+func mkRound(t float64, ids ...int) sched.Round {
+	return sched.Round{Time: t, Tours: []rooted.Tour{{Depot: 0, Stops: ids, Cost: float64(len(ids))}}}
+}
+
+func TestReplayKeepsChargedSensorAlive(t *testing.T) {
+	nw := testNet(t, 1)
+	nw.Sensors[0].Capacity = 1
+	nw.Sensors[0].Cycle = 4
+	s := &sched.Schedule{T: 12, Rounds: []sched.Round{
+		mkRound(3, 0), mkRound(6, 0), mkRound(10, 0),
+	}}
+	res, err := Replay(nw, energy.NewFixed(nw), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deaths != 0 {
+		t.Errorf("deaths = %d", res.Deaths)
+	}
+	if res.Cost != 3 {
+		t.Errorf("cost = %g", res.Cost)
+	}
+	// Worst margin: gap 4 (t=6 to t=10) on a cycle-4 sensor => residual
+	// hits exactly 0 at the charge instant.
+	if math.Abs(res.MinResidual-0) > 1e-9 {
+		t.Errorf("MinResidual = %g, want 0", res.MinResidual)
+	}
+}
+
+func TestReplayDetectsStarvation(t *testing.T) {
+	nw := testNet(t, 1)
+	nw.Sensors[0].Capacity = 1
+	nw.Sensors[0].Cycle = 4
+	s := &sched.Schedule{T: 12, Rounds: []sched.Round{
+		mkRound(3, 0), mkRound(9, 0), // gap 6 > cycle 4
+	}}
+	res, err := Replay(nw, energy.NewFixed(nw), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deaths != 1 {
+		t.Errorf("deaths = %d, want 1", res.Deaths)
+	}
+	if res.FirstDeath < 7-1e-9 || res.FirstDeath > 9+1e-9 {
+		t.Errorf("first death at %g, want within (7, 9]", res.FirstDeath)
+	}
+	if res.MinResidual != 0 {
+		t.Errorf("MinResidual = %g", res.MinResidual)
+	}
+}
+
+func TestReplayTailGap(t *testing.T) {
+	nw := testNet(t, 1)
+	nw.Sensors[0].Capacity = 1
+	nw.Sensors[0].Cycle = 4
+	// Last charge at 3, T = 8: tail gap 5 > 4 => death after t=7.
+	s := &sched.Schedule{T: 8, Rounds: []sched.Round{mkRound(3, 0)}}
+	res, err := Replay(nw, energy.NewFixed(nw), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deaths != 1 {
+		t.Errorf("tail starvation missed: deaths = %d", res.Deaths)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	nw := testNet(t, 1)
+	if _, err := Replay(nw, energy.NewFixed(nw), &sched.Schedule{T: 0}); err == nil {
+		t.Error("T=0 accepted")
+	}
+	s := &sched.Schedule{T: 10, Rounds: []sched.Round{mkRound(5, 0), mkRound(3, 0)}}
+	if _, err := Replay(nw, energy.NewFixed(nw), s); err == nil {
+		t.Error("unordered rounds accepted")
+	}
+	s = &sched.Schedule{T: 10, Rounds: []sched.Round{mkRound(5, 42)}}
+	if _, err := Replay(nw, energy.NewFixed(nw), s); err == nil {
+		t.Error("invalid sensor accepted")
+	}
+}
+
+func TestReplayAgreesWithGapVerifier(t *testing.T) {
+	// For fixed rates, combinatorial feasibility (Verify) and
+	// energetic feasibility (Replay) must agree.
+	nw := testNet(t, 6)
+	cycles := nw.Cycles()
+	feasible := &sched.Schedule{T: 20}
+	for tt := 1.0; tt < 20; tt++ {
+		var ids []int
+		for i, c := range cycles {
+			if math.Mod(tt, math.Max(1, math.Floor(c))) == 0 {
+				ids = append(ids, i)
+			}
+		}
+		if len(ids) > 0 {
+			feasible.Rounds = append(feasible.Rounds, mkRound(tt, ids...))
+		}
+	}
+	gapErr := feasible.Verify(cycles, 1e-9)
+	res, err := Replay(nw, energy.NewFixed(nw), feasible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (gapErr == nil) != (res.Deaths == 0) {
+		t.Errorf("verifiers disagree: gap=%v deaths=%d", gapErr, res.Deaths)
+	}
+}
+
+func TestReplayPiecewiseRates(t *testing.T) {
+	// Rate 1 in [0,5), 3 in [5,10): a sensor with capacity 12 charged
+	// at t=4 survives to 4 + (12-?)=... after charge at 4 it has 12;
+	// drain to t=10: 1*1 + 3*5 = 16 > 12 => dies before T=10.
+	nw := testNet(t, 1)
+	nw.Sensors[0].Capacity = 12
+	nw.Sensors[0].Cycle = 12
+	model := &stepModel{cap: 12, slot: 5, rates: []float64{1, 3}}
+	s := &sched.Schedule{T: 10, Rounds: []sched.Round{mkRound(4, 0)}}
+	res, err := Replay(nw, model, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deaths != 1 {
+		t.Errorf("deaths = %d, want 1 (rates tripled mid-run)", res.Deaths)
+	}
+	// With a second charge at t=8 it survives: drain after 8 is 2*3=6 < 12.
+	s2 := &sched.Schedule{T: 10, Rounds: []sched.Round{mkRound(4, 0), mkRound(8, 0)}}
+	res2, err := Replay(nw, model, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Deaths != 0 {
+		t.Errorf("deaths = %d, want 0", res2.Deaths)
+	}
+}

@@ -1,0 +1,307 @@
+// Package sim is the discrete-time simulator the evaluation runs on.
+//
+// It advances a rechargeable WSN over the monitoring period [0, T) at a
+// fixed decision granularity Dt, integrating each sensor's true energy
+// consumption (piecewise constant per model slot), feeding per-sensor
+// rate observations to the EWMA predictor, and invoking a charging Policy
+// at every decision epoch. Visited sensors are recharged to full
+// capacity instantly — the paper's assumption that a charging task is
+// several orders of magnitude shorter than a charging cycle. The
+// simulator records the resulting schedule (hence the service cost), the
+// number of dispatches, and any sensor deaths.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/energy"
+	"repro/internal/metric"
+	"repro/internal/rooted"
+	"repro/internal/sched"
+	"repro/internal/wsn"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// T is the monitoring period; required, positive.
+	T float64
+	// Dt is the decision granularity; 0 defaults to the network's
+	// minimum charging cycle (the paper's τ_min = 1).
+	Dt float64
+	// Gamma is the EWMA smoothing factor; 0 defaults to 1 (predict the
+	// last observed rate — exact for piecewise-constant rates).
+	Gamma float64
+	// Outages injects charger failures: during an outage window the
+	// depot's vehicle is unavailable and policies must dispatch the
+	// remaining chargers only. At least one depot must remain active
+	// at every instant.
+	Outages []Outage
+}
+
+// Outage takes the charger at depot index Depot (0-based) offline over
+// [From, To).
+type Outage struct {
+	Depot    int
+	From, To float64
+}
+
+// Env is the world state a Policy observes. Policies must treat all
+// fields as read-only except through the documented helpers.
+type Env struct {
+	Net    *wsn.Network
+	Space  metric.Space
+	Depots []int
+	Model  energy.Model
+	T, Dt  float64
+
+	// Residual is each sensor's current residual energy.
+	Residual []float64
+	// Pred is the EWMA rate predictor, updated every epoch.
+	Pred *energy.EWMA
+
+	outages []Outage
+	now     float64
+}
+
+// Now returns the current simulation time.
+func (e *Env) Now() float64 { return e.now }
+
+// PredRate returns the predicted consumption rate of sensor i.
+func (e *Env) PredRate(i int) float64 { return e.Pred.Predict(i) }
+
+// PredCycle returns the predicted maximum charging cycle of sensor i,
+// τ̂_i = B_i / ρ̂_i.
+func (e *Env) PredCycle(i int) float64 {
+	return e.Net.Sensors[i].Capacity / e.Pred.Predict(i)
+}
+
+// ResidualLife returns the predicted residual lifetime of sensor i,
+// l̂_i = residual energy / ρ̂_i.
+func (e *Env) ResidualLife(i int) float64 {
+	return e.Residual[i] / e.Pred.Predict(i)
+}
+
+// ActiveDepots returns the metric-space indices of the depots whose
+// chargers are available at the current simulation time. With no
+// injected outages it equals Depots. Policies must root their tours in
+// this set, not in Depots.
+func (e *Env) ActiveDepots() []int {
+	if len(e.outages) == 0 {
+		return e.Depots
+	}
+	down := make(map[int]bool)
+	for _, o := range e.outages {
+		if e.now >= o.From && e.now < o.To {
+			down[o.Depot] = true
+		}
+	}
+	if len(down) == 0 {
+		return e.Depots
+	}
+	active := make([]int, 0, len(e.Depots))
+	for l, idx := range e.Depots {
+		if !down[l] {
+			active = append(active, idx)
+		}
+	}
+	return active
+}
+
+// Policy decides when and whom to charge.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Init is called once with the fully-charged world at t = 0.
+	Init(env *Env) error
+	// Decide is called at every decision epoch t = Dt, 2·Dt, ... < T,
+	// after energy consumption up to t has been applied. It returns
+	// the tours to dispatch at t (nil for "no dispatch"). Returned
+	// tours must be rooted at depot indices of env.Space.
+	Decide(env *Env, t float64) ([]rooted.Tour, error)
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	Schedule *sched.Schedule
+	// Deaths is the number of sensors whose energy ever reached zero
+	// before being recharged.
+	Deaths int
+	// FirstDeath is the time of the first death, or -1 if none.
+	FirstDeath float64
+	// Epochs is the number of decision epochs simulated.
+	Epochs int
+	// EnergyDelivered is the total energy transferred into sensors
+	// (sum over charge events of capacity minus residual).
+	EnergyDelivered float64
+	// Charges is the number of sensor-charge events.
+	Charges int
+}
+
+// Cost returns the service cost of the run.
+func (r Result) Cost() float64 { return r.Schedule.Cost() }
+
+// Run simulates policy over net under the given true-energy model.
+func Run(net *wsn.Network, model energy.Model, policy Policy, cfg Config) (Result, error) {
+	if cfg.T <= 0 {
+		return Result{}, fmt.Errorf("sim: Config.T must be positive, got %g", cfg.T)
+	}
+	dt := cfg.Dt
+	if dt == 0 {
+		dt = net.MinCycle()
+	}
+	if dt <= 0 {
+		return Result{}, fmt.Errorf("sim: Config.Dt must be positive, got %g", dt)
+	}
+	gamma := cfg.Gamma
+	if gamma == 0 {
+		gamma = 1
+	}
+	pred, err := energy.NewEWMA(net.N(), gamma)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := validateOutages(cfg.Outages, net.Q()); err != nil {
+		return Result{}, err
+	}
+	env := &Env{
+		Net:      net,
+		Space:    metric.Materialize(net.Space()),
+		Depots:   net.DepotIndices(),
+		Model:    model,
+		T:        cfg.T,
+		Dt:       dt,
+		Residual: make([]float64, net.N()),
+		Pred:     pred,
+		outages:  cfg.Outages,
+	}
+	for i, s := range net.Sensors {
+		env.Residual[i] = s.Capacity
+		pred.Observe(i, model.Rate(i, 0))
+	}
+	if err := policy.Init(env); err != nil {
+		return Result{}, fmt.Errorf("sim: policy %s init: %w", policy.Name(), err)
+	}
+
+	res := Result{
+		Schedule:   &sched.Schedule{T: cfg.T},
+		FirstDeath: -1,
+	}
+	dead := make([]bool, net.N())
+	const eps = 1e-9
+	for step := 1; ; step++ {
+		t := float64(step) * dt
+		if t >= cfg.T-eps {
+			// Tail consumption from the last epoch to T.
+			consume(env, float64(step-1)*dt, cfg.T, dead, &res)
+			break
+		}
+		consume(env, t-dt, t, dead, &res)
+		env.now = t
+		for i := range net.Sensors {
+			pred.Observe(i, model.Rate(i, t))
+		}
+		tours, err := policy.Decide(env, t)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: policy %s at t=%g: %w", policy.Name(), t, err)
+		}
+		if len(tours) == 0 {
+			res.Epochs++
+			continue
+		}
+		active := make(map[int]bool)
+		for _, d := range env.ActiveDepots() {
+			active[d] = true
+		}
+		for _, tour := range tours {
+			if !active[tour.Depot] && len(tour.Stops) > 0 {
+				return Result{}, fmt.Errorf("sim: policy %s dispatched a tour from depot %d during its outage at t=%g",
+					policy.Name(), tour.Depot, t)
+			}
+		}
+		for _, tour := range tours {
+			for _, id := range tour.Stops {
+				if id < 0 || id >= net.N() {
+					return Result{}, fmt.Errorf("sim: policy %s charged invalid sensor index %d", policy.Name(), id)
+				}
+				res.EnergyDelivered += net.Sensors[id].Capacity - env.Residual[id]
+				res.Charges++
+				env.Residual[id] = net.Sensors[id].Capacity
+				dead[id] = false
+			}
+		}
+		res.Schedule.Rounds = append(res.Schedule.Rounds, sched.Round{Time: t, Tours: tours})
+		res.Epochs++
+	}
+	return res, nil
+}
+
+// validateOutages rejects malformed windows and configurations that
+// would leave the network with no charger at some instant.
+func validateOutages(outages []Outage, q int) error {
+	for i, o := range outages {
+		if o.Depot < 0 || o.Depot >= q {
+			return fmt.Errorf("sim: outage %d names depot %d, network has %d", i, o.Depot, q)
+		}
+		if o.To <= o.From {
+			return fmt.Errorf("sim: outage %d window [%g, %g) is empty", i, o.From, o.To)
+		}
+	}
+	// At least one depot must survive every instant; overlaps only
+	// matter at window starts.
+	for i, o := range outages {
+		down := 0
+		seen := make(map[int]bool)
+		for _, p := range outages {
+			if o.From >= p.From && o.From < p.To && !seen[p.Depot] {
+				seen[p.Depot] = true
+				down++
+			}
+		}
+		if down >= q {
+			return fmt.Errorf("sim: all %d depots down at t=%g (outage %d)", q, o.From, i)
+		}
+	}
+	return nil
+}
+
+// consume integrates each sensor's consumption over [a, b), splitting at
+// model-slot boundaries so piecewise-constant rates are applied exactly.
+func consume(env *Env, a, b float64, dead []bool, res *Result) {
+	if b <= a {
+		return
+	}
+	slot := env.Model.SlotLength()
+	for cur := a; cur < b-1e-12; {
+		next := b
+		if !math.IsInf(slot, 1) {
+			boundary := (math.Floor(cur/slot+1e-9) + 1) * slot
+			if boundary < next {
+				next = boundary
+			}
+		}
+		span := next - cur
+		for i := range env.Residual {
+			if dead[i] {
+				continue
+			}
+			env.Residual[i] -= env.Model.Rate(i, cur) * span
+			// Reaching exactly zero at an instant the charger arrives
+			// is fine (the paper's schedules are tight at equality);
+			// death means the sensor *needed* energy it did not have.
+			if env.Residual[i] < -1e-9*env.Net.Sensors[i].Capacity {
+				env.Residual[i] = 0
+				dead[i] = true
+				res.Deaths++
+				if res.FirstDeath < 0 {
+					// The exact zero-crossing is inside (cur, next];
+					// report the interval end, good enough for stats.
+					res.FirstDeath = next
+				}
+			} else if env.Residual[i] < 0 {
+				env.Residual[i] = 0
+			}
+		}
+		cur = next
+	}
+}

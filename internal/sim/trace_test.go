@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func TestTracerRecordsEveryEpoch(t *testing.T) {
+	nw := testNet(t, 5)
+	tr := NewTracer(chargeAllPolicy{period: 1, cost: 1})
+	res, err := Run(nw, energy.NewFixed(nw), tr, Config{T: 20, Dt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := tr.Trace()
+	if len(trace) != res.Epochs {
+		t.Fatalf("trace has %d points, epochs %d", len(trace), res.Epochs)
+	}
+	for i, p := range trace {
+		if p.Time != float64(i+1) {
+			t.Fatalf("point %d at time %g", i, p.Time)
+		}
+		if p.Charged != 5 {
+			t.Fatalf("point %d charged %d", i, p.Charged)
+		}
+		if p.MinResidualFrac < 0 || p.MinResidualFrac > 1+1e-9 {
+			t.Fatalf("point %d min frac %g", i, p.MinResidualFrac)
+		}
+		if p.MeanResidualFrac < p.MinResidualFrac-1e-9 {
+			t.Fatalf("point %d mean < min", i)
+		}
+	}
+	margin, err := tr.MinSafetyMargin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Charged every τ_min, min cycle 2 => margin >= 1 - dt/minCycle.
+	want := 1 - 1/nw.MinCycle()
+	if margin < want-1e-9 {
+		t.Errorf("margin %g, want >= %g", margin, want)
+	}
+}
+
+func TestTracerDelegatesName(t *testing.T) {
+	tr := NewTracer(nullPolicy{})
+	if tr.Name() != "null+trace" {
+		t.Errorf("name = %q", tr.Name())
+	}
+}
+
+func TestTracerEmptyMargin(t *testing.T) {
+	tr := NewTracer(nullPolicy{})
+	if _, err := tr.MinSafetyMargin(); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestTracerSeesStarvation(t *testing.T) {
+	nw := testNet(t, 3)
+	tr := NewTracer(nullPolicy{})
+	if _, err := Run(nw, energy.NewFixed(nw), tr, Config{T: 50, Dt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	margin, err := tr.MinSafetyMargin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(margin) > 1e-9 {
+		t.Errorf("starved network margin = %g, want 0", margin)
+	}
+}
+
+func TestTracerInitResets(t *testing.T) {
+	nw := testNet(t, 2)
+	tr := NewTracer(nullPolicy{})
+	if _, err := Run(nw, energy.NewFixed(nw), tr, Config{T: 5, Dt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	first := len(tr.Trace())
+	if _, err := Run(nw, energy.NewFixed(nw), tr, Config{T: 5, Dt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Trace()) != first {
+		t.Errorf("trace accumulated across runs: %d vs %d", len(tr.Trace()), first)
+	}
+}

@@ -1,0 +1,127 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to aggregate results over the 100 random topologies each
+// figure point averages (Section VII-A of the paper).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs.
+// It returns 0 for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// StdErr returns the standard error of the mean.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func CI95(xs []float64) float64 { return 1.96 * StdErr(xs) }
+
+// Min returns the minimum of xs, or NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation on the sorted sample. It returns NaN for an empty slice
+// and panics on q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g outside [0,1]", q))
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Summary bundles the aggregate statistics of one sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	StdDev   float64
+	CI95     float64
+	Min, Max float64
+	Median   float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		CI95:   CI95(xs),
+		Min:    Min(xs),
+		Max:    Max(xs),
+		Median: Quantile(xs, 0.5),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f ±%.2f sd=%.2f min=%.2f med=%.2f max=%.2f",
+		s.N, s.Mean, s.CI95, s.StdDev, s.Min, s.Median, s.Max)
+}

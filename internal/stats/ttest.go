@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// PairedT is the result of a paired t-test between two equal-length
+// samples (e.g. the per-topology costs of two algorithms run on
+// identical networks).
+type PairedT struct {
+	// T is the t-statistic of the mean paired difference.
+	T float64
+	// DF is the degrees of freedom (n-1).
+	DF int
+	// MeanDiff is the mean of a[i] - b[i].
+	MeanDiff float64
+	// P is the two-sided p-value. For DF >= 30 the normal
+	// approximation is used; for smaller samples a conservative
+	// Student-t tail bound via the incomplete-beta-free Hill
+	// approximation.
+	P float64
+}
+
+// PairedTTest computes a two-sided paired t-test of H0: mean(a-b) = 0.
+// The experiment harness pairs algorithms on identical topologies, so
+// this is the appropriate significance test for "algorithm A is cheaper
+// than algorithm B". It returns an error when the samples are unusable
+// (mismatched lengths, fewer than two pairs, or zero variance with zero
+// difference).
+func PairedTTest(a, b []float64) (PairedT, error) {
+	if len(a) != len(b) {
+		return PairedT{}, fmt.Errorf("stats: paired samples of different lengths %d and %d", len(a), len(b))
+	}
+	n := len(a)
+	if n < 2 {
+		return PairedT{}, fmt.Errorf("stats: need at least 2 pairs, got %d", n)
+	}
+	diffs := make([]float64, n)
+	for i := range a {
+		diffs[i] = a[i] - b[i]
+	}
+	mean := Mean(diffs)
+	sd := StdDev(diffs)
+	res := PairedT{DF: n - 1, MeanDiff: mean}
+	if sd == 0 {
+		if mean == 0 {
+			// Identical samples: no evidence of any difference.
+			res.T = 0
+			res.P = 1
+			return res, nil
+		}
+		// All differences identical and nonzero: infinitely strong.
+		res.T = math.Inf(sign(mean))
+		res.P = 0
+		return res, nil
+	}
+	res.T = mean / (sd / math.Sqrt(float64(n)))
+	res.P = twoSidedTP(res.T, float64(res.DF))
+	return res, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// twoSidedTP approximates the two-sided p-value of a t-statistic. For
+// df >= 30 the standard normal is an excellent approximation; below
+// that, the t variable is transformed with the Hill (1970) formula to
+// an approximately standard-normal deviate first.
+func twoSidedTP(t, df float64) float64 {
+	z := math.Abs(t)
+	if df < 30 {
+		// Hill's approximation: z' ~ N(0,1).
+		a := df - 0.5
+		b := 48 * a * a
+		w := a * math.Log(1+z*z/df)
+		sw := math.Sqrt(w)
+		z = sw + (math.Pow(sw, 3)+3*sw)/b
+	}
+	return 2 * normalUpperTail(z)
+}
+
+// normalUpperTail returns P(Z > z) for standard normal Z via the
+// complementary error function.
+func normalUpperTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// SignificantlyLess reports whether sample a is significantly smaller
+// than sample b at the given two-sided significance level (e.g. 0.01).
+func SignificantlyLess(a, b []float64, alpha float64) (bool, PairedT, error) {
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		return false, PairedT{}, err
+	}
+	return res.MeanDiff < 0 && res.P < alpha, res, nil
+}

@@ -1,0 +1,62 @@
+package tsp
+
+import (
+	"repro/internal/graph"
+	"repro/internal/metric"
+)
+
+// ChristofidesTour builds a closed tour from a spanning tree by the
+// Christofides construction: match the tree's odd-degree vertices with
+// a minimum-weight perfect matching, add the matching edges to make the
+// multigraph Eulerian, take an Euler circuit from root and shortcut.
+//
+// When the odd-vertex set is small enough for the exact matching
+// (≤ tsp.MaxExactMatching), the classic 1.5-approximation guarantee
+// holds; with the greedy fallback the construction is heuristic but
+// still never exceeds the double-tree bound in practice. The returned
+// flag reports whether the matching was exact.
+func ChristofidesTour(sp metric.Space, tree graph.Tree, root int) ([]int, bool) {
+	deg := make(map[int]int)
+	var edges []graph.Edge
+	for v, p := range tree.Parent {
+		if p >= 0 {
+			edges = append(edges, graph.Edge{U: v, V: p, W: sp.Dist(v, p)})
+			deg[v]++
+			deg[p]++
+		}
+	}
+	if len(edges) == 0 {
+		return []int{root}, true
+	}
+	var odd []int
+	for v, d := range deg {
+		if d%2 == 1 {
+			odd = append(odd, v)
+		}
+	}
+	// Deterministic order for the matching input.
+	sortInts(odd)
+	pairs, _, exact, err := MinWeightMatching(sp, odd)
+	if err != nil {
+		// Odd-degree vertices of any graph come in pairs; an odd
+		// count means the tree was malformed.
+		panic("tsp: Christofides on malformed tree: " + err.Error())
+	}
+	for _, pr := range pairs {
+		u, v := odd[pr[0]], odd[pr[1]]
+		edges = append(edges, graph.Edge{U: u, V: v, W: sp.Dist(u, v)})
+	}
+	walk, err := graph.EulerCircuit(len(tree.Parent), edges, root)
+	if err != nil {
+		panic("tsp: Christofides multigraph not Eulerian: " + err.Error())
+	}
+	return graph.Shortcut(walk), exact
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package tsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestMinWeightMatchingExactMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 25; trial++ {
+		k := 2 * (1 + r.Intn(4)) // 2, 4, 6, 8
+		sp := randomSpace(r, k)
+		verts := make([]int, k)
+		for i := range verts {
+			verts[i] = i
+		}
+		_, got, exact, err := MinWeightMatching(sp, verts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact {
+			t.Fatal("small instance not solved exactly")
+		}
+		want := bruteForceMatching(sp, verts)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: exact matching %g != brute force %g", trial, got, want)
+		}
+	}
+}
+
+// bruteForceMatching enumerates all perfect matchings recursively.
+func bruteForceMatching(sp spaceLike, verts []int) float64 {
+	if len(verts) == 0 {
+		return 0
+	}
+	best := math.Inf(1)
+	a := verts[0]
+	for i := 1; i < len(verts); i++ {
+		b := verts[i]
+		rest := make([]int, 0, len(verts)-2)
+		rest = append(rest, verts[1:i]...)
+		rest = append(rest, verts[i+1:]...)
+		if v := sp.Dist(a, b) + bruteForceMatching(sp, rest); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+type spaceLike interface{ Dist(i, j int) float64 }
+
+func TestMinWeightMatchingValidity(t *testing.T) {
+	r := rand.New(rand.NewSource(607))
+	for _, k := range []int{4, 12, 30, 60} { // spans exact and greedy
+		sp := randomSpace(r, k)
+		verts := make([]int, k)
+		for i := range verts {
+			verts[i] = i
+		}
+		pairs, weight, _, err := MinWeightMatching(sp, verts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != k/2 {
+			t.Fatalf("k=%d: %d pairs", k, len(pairs))
+		}
+		used := make([]bool, k)
+		var sum float64
+		for _, pr := range pairs {
+			if used[pr[0]] || used[pr[1]] || pr[0] == pr[1] {
+				t.Fatalf("k=%d: invalid pair %v", k, pr)
+			}
+			used[pr[0]], used[pr[1]] = true, true
+			sum += sp.Dist(verts[pr[0]], verts[pr[1]])
+		}
+		if math.Abs(sum-weight) > 1e-9*(1+sum) {
+			t.Fatalf("k=%d: weight %g != recomputed %g", k, weight, sum)
+		}
+	}
+	if _, _, _, err := MinWeightMatching(randomSpace(r, 3), []int{0, 1, 2}); err == nil {
+		t.Error("odd vertex count accepted")
+	}
+	if pairs, w, exact, err := MinWeightMatching(randomSpace(r, 2), nil); err != nil || len(pairs) != 0 || w != 0 || !exact {
+		t.Error("empty matching mishandled")
+	}
+}
+
+func TestGreedyMatchingWithinTwiceExact(t *testing.T) {
+	// On metric instances small enough to solve both ways, the greedy
+	// + exchange heuristic must stay within 2x of optimal (the classic
+	// greedy matching bound on metrics is much weaker, but 2x holds
+	// comfortably on random Euclidean instances and guards regressions).
+	r := rand.New(rand.NewSource(611))
+	for trial := 0; trial < 15; trial++ {
+		k := 8 + 2*r.Intn(5) // 8..16
+		sp := randomSpace(r, k)
+		verts := make([]int, k)
+		for i := range verts {
+			verts[i] = i
+		}
+		gPairs, gw := greedyMatching(sp, verts)
+		_, gw2 := improveMatching(sp, verts, gPairs, gw)
+		_, exactW := exactMatching(sp, verts)
+		if gw2 > 2*exactW+1e-9 {
+			t.Fatalf("trial %d: greedy %g > 2x exact %g", trial, gw2, exactW)
+		}
+	}
+}
+
+func TestChristofidesTourValidAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(617))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + r.Intn(9) // small enough for Held-Karp and exact matching
+		sp := randomSpace(r, n)
+		root := r.Intn(n)
+		tree := graph.PrimMST(sp, root)
+		tour, exact := ChristofidesTour(sp, tree, root)
+		if err := Validate(sp, tour, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if tour[0] != root {
+			t.Fatalf("trial %d: tour starts at %d", trial, tour[0])
+		}
+		if !exact {
+			t.Fatalf("trial %d: expected exact matching at n=%d", trial, n)
+		}
+		_, opt, err := HeldKarp(sp, root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := Cost(sp, tour); c > 1.5*opt+1e-9 {
+			t.Fatalf("trial %d: Christofides %g > 1.5x optimal %g", trial, c, opt)
+		}
+	}
+}
+
+func TestChristofidesBeatsDoubleTreeOnAverage(t *testing.T) {
+	r := rand.New(rand.NewSource(619))
+	var chr, dbl float64
+	for trial := 0; trial < 25; trial++ {
+		n := 30 + r.Intn(60)
+		sp := randomSpace(r, n)
+		tree := graph.PrimMST(sp, 0)
+		tour, _ := ChristofidesTour(sp, tree, 0)
+		if err := Validate(sp, tour, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		chr += Cost(sp, tour)
+		dbl += Cost(sp, DoubleTree(sp, tree, 0))
+	}
+	if chr >= dbl {
+		t.Errorf("Christofides aggregate %g not below double-tree %g", chr, dbl)
+	}
+}
+
+func TestChristofidesSingletonTree(t *testing.T) {
+	sp := randomSpace(rand.New(rand.NewSource(5)), 1)
+	tree := graph.PrimMST(sp, 0)
+	tour, exact := ChristofidesTour(sp, tree, 0)
+	if len(tour) != 1 || tour[0] != 0 || !exact {
+		t.Errorf("singleton tour = %v", tour)
+	}
+}

@@ -1,0 +1,93 @@
+package tsp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metric"
+)
+
+// MaxHeldKarp is the largest instance HeldKarp accepts. The DP table has
+// n * 2^(n-1) entries; 20 vertices ≈ 10M float64 cells, the practical
+// ceiling for a test-support solver.
+const MaxHeldKarp = 20
+
+// HeldKarp solves the TSP exactly on sp by the Held–Karp dynamic program
+// in O(n^2 * 2^n) time. It returns an optimal tour starting at start and
+// its cost. The test suite uses it to certify the 2-approximation bound of
+// the double-tree construction on small instances.
+//
+// It returns an error if sp has more than MaxHeldKarp vertices.
+func HeldKarp(sp metric.Space, start int) ([]int, float64, error) {
+	n := sp.Len()
+	if n > MaxHeldKarp {
+		return nil, 0, fmt.Errorf("tsp: HeldKarp limited to %d vertices, got %d", MaxHeldKarp, n)
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	if n == 1 {
+		return []int{start}, 0, nil
+	}
+	// Relabel so the fixed start is vertex n-1 and the DP runs over
+	// subsets of the remaining n-1 vertices.
+	others := make([]int, 0, n-1)
+	for v := 0; v < n; v++ {
+		if v != start {
+			others = append(others, v)
+		}
+	}
+	m := len(others)
+	full := 1 << m
+	dp := make([]float64, full*m)
+	par := make([]int8, full*m)
+	for i := range dp {
+		dp[i] = math.Inf(1)
+		par[i] = -1
+	}
+	for j := 0; j < m; j++ {
+		dp[(1<<j)*m+j] = sp.Dist(start, others[j])
+	}
+	for mask := 1; mask < full; mask++ {
+		for j := 0; j < m; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			cur := dp[mask*m+j]
+			if math.IsInf(cur, 1) {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				if mask&(1<<k) != 0 {
+					continue
+				}
+				nm := mask | 1<<k
+				if v := cur + sp.Dist(others[j], others[k]); v < dp[nm*m+k] {
+					dp[nm*m+k] = v
+					par[nm*m+k] = int8(j)
+				}
+			}
+		}
+	}
+	best, bestJ := math.Inf(1), -1
+	for j := 0; j < m; j++ {
+		if v := dp[(full-1)*m+j] + sp.Dist(others[j], start); v < best {
+			best, bestJ = v, j
+		}
+	}
+	// Reconstruct.
+	tour := make([]int, 0, n)
+	mask, j := full-1, bestJ
+	for j >= 0 {
+		tour = append(tour, others[j])
+		pj := par[mask*m+j]
+		mask ^= 1 << j
+		j = int(pj)
+	}
+	tour = append(tour, start)
+	// Reverse to start-first order.
+	for i, k := 0, len(tour)-1; i < k; i, k = i+1, k-1 {
+		tour[i], tour[k] = tour[k], tour[i]
+	}
+	return tour, best, nil
+}

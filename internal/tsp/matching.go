@@ -1,0 +1,144 @@
+package tsp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metric"
+)
+
+// MaxExactMatching is the largest vertex set MinWeightMatching solves
+// exactly; beyond it the greedy+exchange heuristic takes over. The
+// bitmask DP costs O(2^k · k^2): k = 16 is ~17M steps.
+const MaxExactMatching = 16
+
+// MinWeightMatching returns a minimum-weight perfect matching of the
+// given vertices (even count required) as index pairs into verts. Sets
+// of at most MaxExactMatching vertices are solved exactly by bitmask
+// dynamic programming; larger sets fall back to greedy construction
+// followed by pairwise-exchange improvement (no optimality guarantee —
+// the exact flag reports which path ran).
+func MinWeightMatching(sp metric.Space, verts []int) (pairs [][2]int, weight float64, exact bool, err error) {
+	k := len(verts)
+	if k%2 != 0 {
+		return nil, 0, false, fmt.Errorf("tsp: matching needs an even vertex count, got %d", k)
+	}
+	if k == 0 {
+		return nil, 0, true, nil
+	}
+	if k <= MaxExactMatching {
+		pairs, weight = exactMatching(sp, verts)
+		return pairs, weight, true, nil
+	}
+	pairs, weight = greedyMatching(sp, verts)
+	pairs, weight = improveMatching(sp, verts, pairs, weight)
+	return pairs, weight, false, nil
+}
+
+// exactMatching solves min-weight perfect matching by DP over subsets:
+// dp[S] = min cost to match the vertex set S (|S| even). The lowest set
+// bit is always matched first, so each state branches k ways.
+func exactMatching(sp metric.Space, verts []int) ([][2]int, float64) {
+	k := len(verts)
+	full := 1 << uint(k)
+	dp := make([]float64, full)
+	choice := make([]int8, full)
+	for s := range dp {
+		dp[s] = math.Inf(1)
+		choice[s] = -1
+	}
+	dp[0] = 0
+	for s := 1; s < full; s++ {
+		// Only states with even population are reachable.
+		i := lowestBit(s)
+		rest := s &^ (1 << uint(i))
+		for j := i + 1; j < k; j++ {
+			if rest&(1<<uint(j)) == 0 {
+				continue
+			}
+			prev := rest &^ (1 << uint(j))
+			if v := dp[prev] + sp.Dist(verts[i], verts[j]); v < dp[s] {
+				dp[s] = v
+				choice[s] = int8(j)
+			}
+		}
+	}
+	var pairs [][2]int
+	s := full - 1
+	for s != 0 {
+		i := lowestBit(s)
+		j := int(choice[s])
+		pairs = append(pairs, [2]int{i, j})
+		s &^= (1 << uint(i)) | (1 << uint(j))
+	}
+	return pairs, dp[full-1]
+}
+
+func lowestBit(s int) int {
+	b := 0
+	for s&1 == 0 {
+		s >>= 1
+		b++
+	}
+	return b
+}
+
+// greedyMatching pairs the globally closest unmatched vertices first.
+func greedyMatching(sp metric.Space, verts []int) ([][2]int, float64) {
+	k := len(verts)
+	type cand struct {
+		i, j int
+		w    float64
+	}
+	cands := make([]cand, 0, k*(k-1)/2)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			cands = append(cands, cand{i, j, sp.Dist(verts[i], verts[j])})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].w < cands[b].w })
+	used := make([]bool, k)
+	var pairs [][2]int
+	var weight float64
+	for _, c := range cands {
+		if used[c.i] || used[c.j] {
+			continue
+		}
+		used[c.i], used[c.j] = true, true
+		pairs = append(pairs, [2]int{c.i, c.j})
+		weight += c.w
+	}
+	return pairs, weight
+}
+
+// improveMatching applies 2-exchange: for every pair of matched pairs
+// (a,b),(c,d), try the re-pairings (a,c)(b,d) and (a,d)(b,c).
+func improveMatching(sp metric.Space, verts []int, pairs [][2]int, weight float64) ([][2]int, float64) {
+	const eps = 1e-9
+	w := func(a, b int) float64 { return sp.Dist(verts[a], verts[b]) }
+	for improved := true; improved; {
+		improved = false
+		for x := 0; x < len(pairs); x++ {
+			for y := x + 1; y < len(pairs); y++ {
+				a, b := pairs[x][0], pairs[x][1]
+				c, d := pairs[y][0], pairs[y][1]
+				cur := w(a, b) + w(c, d)
+				if alt := w(a, c) + w(b, d); alt < cur-eps {
+					pairs[x] = [2]int{a, c}
+					pairs[y] = [2]int{b, d}
+					weight += alt - cur
+					improved = true
+					continue
+				}
+				if alt := w(a, d) + w(b, c); alt < cur-eps {
+					pairs[x] = [2]int{a, d}
+					pairs[y] = [2]int{b, c}
+					weight += alt - cur
+					improved = true
+				}
+			}
+		}
+	}
+	return pairs, weight
+}

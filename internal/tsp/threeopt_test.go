@@ -1,0 +1,73 @@
+package tsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSegmentExchangeNeverWorsensAndStaysValid(t *testing.T) {
+	r := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + r.Intn(40)
+		sp := randomSpace(r, n)
+		tour := NearestNeighbor(sp, 0)
+		before := Cost(sp, tour)
+		improved, moves := SegmentExchange(sp, tour, -1)
+		after := Cost(sp, improved)
+		if after > before+1e-9 {
+			t.Fatalf("trial %d: worsened %g -> %g (%d moves)", trial, before, after, moves)
+		}
+		if err := Validate(sp, improved, nil); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if improved[0] != 0 {
+			t.Fatalf("trial %d: start vertex moved", trial)
+		}
+	}
+}
+
+func TestSegmentExchangeBeyondTwoOpt(t *testing.T) {
+	// Across many random instances, the pure 3-opt move must find at
+	// least one improvement on some tour that 2-opt has already
+	// converged on — otherwise the move is dead code.
+	r := rand.New(rand.NewSource(503))
+	foundExtra := false
+	for trial := 0; trial < 30 && !foundExtra; trial++ {
+		sp := randomSpace(r, 40)
+		tour := NearestNeighbor(sp, 0)
+		tour, _ = TwoOpt(sp, tour, -1)
+		before := Cost(sp, tour)
+		tour, moves := SegmentExchange(sp, tour, -1)
+		if moves > 0 && Cost(sp, tour) < before-1e-9 {
+			foundExtra = true
+		}
+	}
+	if !foundExtra {
+		t.Error("segment exchange never improved a 2-opt-converged tour in 30 instances")
+	}
+}
+
+func TestSegmentExchangeKnownInstance(t *testing.T) {
+	// A + C + B layout: points engineered so swapping the two middle
+	// segments is the unique improvement.
+	sp := lineSpace([]float64{0, 10, 11, 20, 21, 30})
+	// Tour visiting the far pair before the near pair: 0,20,21,10,11,30.
+	tour := []int{0, 3, 4, 1, 2, 5}
+	improved, moves := SegmentExchange(sp, tour, -1)
+	if moves == 0 {
+		t.Fatal("no move found")
+	}
+	if c := Cost(sp, improved); c > Cost(sp, []int{0, 1, 2, 3, 4, 5})+1e-9 {
+		t.Errorf("result cost %g not optimal", c)
+	}
+}
+
+func TestSegmentExchangeTinyTours(t *testing.T) {
+	sp := makeSquare()
+	for _, tour := range [][]int{{}, {0}, {0, 1, 2, 3}} {
+		got, moves := SegmentExchange(sp, append([]int(nil), tour...), -1)
+		if moves != 0 || len(got) != len(tour) {
+			t.Errorf("tiny tour %v: moves=%d", tour, moves)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package wsn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestGenerateClusteredBasics(t *testing.T) {
+	nw, err := GenerateClustered(rng.New(3), ClusteredConfig{
+		N: 120, Q: 4, Clusters: 3, Dist: defaultLinear(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.N() != 120 || nw.Q() != 4 {
+		t.Fatalf("N=%d Q=%d", nw.N(), nw.Q())
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateClusteredIsActuallyClustered(t *testing.T) {
+	// Mean nearest-neighbour distance must be much smaller than in a
+	// uniform deployment of the same size.
+	r := rng.New(7)
+	uni, err := Generate(r.Split(1), GenConfig{N: 200, Q: 3, Dist: defaultLinear()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := GenerateClustered(r.Split(2), ClusteredConfig{
+		N: 200, Q: 3, Clusters: 4, Spread: 40, Dist: defaultLinear(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mu, mc := meanNN(uni), meanNN(clu); mc > 0.6*mu {
+		t.Errorf("clustered mean NN %g not much below uniform %g", mc, mu)
+	}
+}
+
+func meanNN(nw *Network) float64 {
+	var sum float64
+	for i, s := range nw.Sensors {
+		best := math.Inf(1)
+		for j, u := range nw.Sensors {
+			if i != j {
+				best = math.Min(best, s.Pos.Dist(u.Pos))
+			}
+		}
+		sum += best
+	}
+	return sum / float64(nw.N())
+}
+
+func TestGenerateClusteredCyclesFollowPosition(t *testing.T) {
+	// With sigma=0 the linear distribution is deterministic in
+	// position; redraws after relocation must match the mean exactly.
+	dist := LinearDist{TauMin: 1, TauMax: 50, Sigma: 0}
+	nw, err := GenerateClustered(rng.New(11), ClusteredConfig{
+		N: 50, Q: 2, Clusters: 2, Dist: dist,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range nw.Sensors {
+		want := dist.Mean(s.Pos, nw.Base, nw.Field)
+		if math.Abs(s.Cycle-want) > 1e-9 {
+			t.Fatalf("sensor %d cycle %g, want %g for its position", s.ID, s.Cycle, want)
+		}
+	}
+}
+
+func TestGenerateClusteredValidation(t *testing.T) {
+	if _, err := GenerateClustered(rng.New(1), ClusteredConfig{N: 10, Q: 2, Dist: defaultLinear()}); err == nil {
+		t.Error("zero clusters accepted")
+	}
+	if _, err := GenerateClustered(rng.New(1), ClusteredConfig{N: 10, Q: 2, Clusters: 2, Spread: -5, Dist: defaultLinear()}); err == nil {
+		t.Error("negative spread accepted")
+	}
+	if _, err := GenerateClustered(rng.New(1), ClusteredConfig{N: 0, Q: 2, Clusters: 2, Dist: defaultLinear()}); err == nil {
+		t.Error("N=0 accepted")
+	}
+}

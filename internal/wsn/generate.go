@@ -1,0 +1,170 @@
+package wsn
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// GenConfig describes a random network deployment, defaulting to the
+// paper's environment: a 1,000m x 1,000m field, the base station at its
+// centre, q = 5 depots with depot 0 co-located with the base station and
+// the rest uniform random, unit battery capacities (so rate = 1/cycle),
+// and cycles drawn from the configured distribution.
+type GenConfig struct {
+	N        int       // number of sensors (required, > 0)
+	Q        int       // number of depots/chargers (required, > 0)
+	Field    geom.Rect // zero value means 1000 x 1000
+	Capacity float64   // battery capacity B_i; 0 means 1
+	// CapacityJitter in [0, 1) draws each battery capacity uniformly
+	// from [Capacity*(1-j), Capacity*(1+j)] — heterogeneous hardware.
+	// 0 means identical batteries (the paper's setting).
+	CapacityJitter float64
+	Dist           CycleDist // required
+	// SensorPlacement selects sensor siting; zero value is
+	// SensorUniform (the paper's setting).
+	SensorPlacement SensorPlacement
+	// DepotPlacement selects how depots are placed; the zero value is
+	// DepotBaseFirst (the paper's setup).
+	DepotPlacement DepotPlacement
+}
+
+// SensorPlacement selects a sensor siting strategy.
+type SensorPlacement int
+
+const (
+	// SensorUniform scatters sensors uniformly at random (the paper).
+	SensorUniform SensorPlacement = iota
+	// SensorGrid places sensors on a jittered regular grid, as in
+	// planned structural-monitoring deployments.
+	SensorGrid
+)
+
+// DepotPlacement selects a depot siting strategy.
+type DepotPlacement int
+
+const (
+	// DepotBaseFirst places depot 0 at the base station and the rest
+	// uniformly at random (the paper's setup).
+	DepotBaseFirst DepotPlacement = iota
+	// DepotUniform places all depots uniformly at random.
+	DepotUniform
+	// DepotGrid places depots on a regular sqrt(q) x sqrt(q)-ish grid;
+	// used by the depot-placement ablation.
+	DepotGrid
+)
+
+func (c GenConfig) withDefaults() (GenConfig, error) {
+	if c.N <= 0 {
+		return c, fmt.Errorf("wsn: GenConfig.N must be positive, got %d", c.N)
+	}
+	if c.Q <= 0 {
+		return c, fmt.Errorf("wsn: GenConfig.Q must be positive, got %d", c.Q)
+	}
+	if c.Dist == nil {
+		return c, fmt.Errorf("wsn: GenConfig.Dist is required")
+	}
+	if c.Field.Width() == 0 && c.Field.Height() == 0 {
+		c.Field = geom.Square(1000)
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 1
+	}
+	if c.Capacity < 0 {
+		return c, fmt.Errorf("wsn: GenConfig.Capacity must be positive, got %g", c.Capacity)
+	}
+	if c.CapacityJitter < 0 || c.CapacityJitter >= 1 {
+		return c, fmt.Errorf("wsn: GenConfig.CapacityJitter must be in [0,1), got %g", c.CapacityJitter)
+	}
+	return c, nil
+}
+
+// Generate deploys a random network according to cfg using the given
+// random stream. Identical (cfg, stream seed) pairs yield identical
+// networks.
+func Generate(r *rng.Source, cfg GenConfig) (*Network, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	nw := &Network{Field: cfg.Field, Base: cfg.Field.Center()}
+	uniformPoint := func() geom.Point {
+		return geom.Pt(
+			r.Uniform(cfg.Field.Min.X, cfg.Field.Max.X),
+			r.Uniform(cfg.Field.Min.Y, cfg.Field.Max.Y),
+		)
+	}
+	sensorPos := func(i int) geom.Point {
+		if cfg.SensorPlacement == SensorUniform {
+			return uniformPoint()
+		}
+		// Jittered grid: cell centres of the smallest grid holding N,
+		// perturbed by up to a quarter cell.
+		cols := 1
+		for cols*cols < cfg.N {
+			cols++
+		}
+		rows := (cfg.N + cols - 1) / cols
+		cw := cfg.Field.Width() / float64(cols)
+		ch := cfg.Field.Height() / float64(rows)
+		cx := cfg.Field.Min.X + (float64(i%cols)+0.5)*cw
+		cy := cfg.Field.Min.Y + (float64(i/cols)+0.5)*ch
+		return cfg.Field.Clamp(geom.Pt(
+			cx+r.Uniform(-cw/4, cw/4),
+			cy+r.Uniform(-ch/4, ch/4),
+		))
+	}
+	for i := 0; i < cfg.N; i++ {
+		pos := sensorPos(i)
+		capac := cfg.Capacity
+		if cfg.CapacityJitter > 0 {
+			capac = r.Uniform(cfg.Capacity*(1-cfg.CapacityJitter), cfg.Capacity*(1+cfg.CapacityJitter))
+		}
+		nw.Sensors = append(nw.Sensors, Sensor{
+			ID:       i,
+			Pos:      pos,
+			Capacity: capac,
+			Cycle:    cfg.Dist.Sample(r, pos, nw.Base, cfg.Field),
+		})
+	}
+	switch cfg.DepotPlacement {
+	case DepotBaseFirst:
+		nw.Depots = append(nw.Depots, nw.Base)
+		for l := 1; l < cfg.Q; l++ {
+			nw.Depots = append(nw.Depots, uniformPoint())
+		}
+	case DepotUniform:
+		for l := 0; l < cfg.Q; l++ {
+			nw.Depots = append(nw.Depots, uniformPoint())
+		}
+	case DepotGrid:
+		nw.Depots = gridDepots(cfg.Field, cfg.Q)
+	default:
+		return nil, fmt.Errorf("wsn: unknown depot placement %d", cfg.DepotPlacement)
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// gridDepots places q depots on the most-square grid with at least q
+// cells, filling row-major from cell centres and dropping the excess.
+func gridDepots(field geom.Rect, q int) []geom.Point {
+	cols := 1
+	for cols*cols < q {
+		cols++
+	}
+	rows := (q + cols - 1) / cols
+	out := make([]geom.Point, 0, q)
+	for rIdx := 0; rIdx < rows && len(out) < q; rIdx++ {
+		for cIdx := 0; cIdx < cols && len(out) < q; cIdx++ {
+			out = append(out, geom.Pt(
+				field.Min.X+field.Width()*(float64(cIdx)+0.5)/float64(cols),
+				field.Min.Y+field.Height()*(float64(rIdx)+0.5)/float64(rows),
+			))
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package wsn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// lineNetwork builds sensors on a horizontal line right of the base.
+func lineNetwork(xs ...float64) *Network {
+	field := geom.Square(1000)
+	nw := &Network{Field: field, Base: field.Center(), Depots: []geom.Point{field.Center()}}
+	for i, dx := range xs {
+		nw.Sensors = append(nw.Sensors, Sensor{
+			ID: i, Pos: geom.Pt(500+dx, 500), Capacity: 1, Cycle: 10,
+		})
+	}
+	return nw
+}
+
+func TestDeriveRatesChain(t *testing.T) {
+	// Sensors at 80, 160, 240 from the base with range 100: a chain.
+	nw := lineNetwork(80, 160, 240)
+	m := RoutingModel{CommRange: 100}
+	res, err := m.DeriveRates(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ParentOf[0] != RouteToBase {
+		t.Errorf("sensor 0 parent = %d", res.ParentOf[0])
+	}
+	if res.ParentOf[1] != 0 || res.ParentOf[2] != 1 {
+		t.Errorf("chain parents = %v", res.ParentOf)
+	}
+	if res.Hops[0] != 0 || res.Hops[1] != 1 || res.Hops[2] != 2 {
+		t.Errorf("hops = %v", res.Hops)
+	}
+	// Loads: leaf 1, middle 2, head 3 (no aggregation).
+	if res.Load[2] != 1 || res.Load[1] != 2 || res.Load[0] != 3 {
+		t.Errorf("loads = %v", res.Load)
+	}
+	// Rates: tx*1 + (tx+rx)*relayed = 1 + 2*relayed.
+	if res.Rate[2] != 1 || res.Rate[1] != 3 || res.Rate[0] != 5 {
+		t.Errorf("rates = %v", res.Rate)
+	}
+}
+
+func TestDeriveRatesUnreachable(t *testing.T) {
+	nw := lineNetwork(80, 400) // 400 is out of range of everything
+	if _, err := (RoutingModel{CommRange: 100}).DeriveRates(nw); err == nil {
+		t.Error("unreachable sensor accepted")
+	}
+}
+
+func TestDeriveRatesRejectsBadConfig(t *testing.T) {
+	nw := lineNetwork(50)
+	if _, err := (RoutingModel{}).DeriveRates(nw); err == nil {
+		t.Error("zero range accepted")
+	}
+	if _, err := (RoutingModel{CommRange: 100, Aggregation: 2}).DeriveRates(nw); err == nil {
+		t.Error("aggregation > 1 accepted")
+	}
+}
+
+func TestAggregationReducesRelayLoad(t *testing.T) {
+	nw := lineNetwork(80, 160, 240)
+	plain, err := RoutingModel{CommRange: 100}.DeriveRates(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := RoutingModel{CommRange: 100, Aggregation: 1}.DeriveRates(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Rate[0] >= plain.Rate[0] {
+		t.Errorf("aggregation did not reduce head rate: %g vs %g", full.Rate[0], plain.Rate[0])
+	}
+	// Perfect aggregation: every sensor forwards a constant stream, so
+	// relayed load is the child count... with our model relays forward 0
+	// extra, so every rate equals the origination cost.
+	if full.Rate[0] != full.Rate[2] {
+		t.Errorf("perfect aggregation rates differ: %v", full.Rate)
+	}
+}
+
+func TestApplyRatesRescalesIntoRange(t *testing.T) {
+	r := rng.New(13)
+	nw, err := Generate(r, GenConfig{N: 150, Q: 5, Dist: RandomDist{TauMin: 1, TauMax: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := RoutingModel{CommRange: 180}
+	res, err := m.DeriveRates(nw)
+	if err != nil {
+		t.Skip("random topology disconnected at range 180; acceptable for this seed")
+	}
+	if err := m.ApplyRates(nw, res, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range nw.Sensors {
+		lo = math.Min(lo, s.Cycle)
+		hi = math.Max(hi, s.Cycle)
+	}
+	if lo < 1-1e-9 || hi > 50+1e-9 {
+		t.Errorf("cycles outside [1,50]: [%g, %g]", lo, hi)
+	}
+	if math.Abs(lo-1) > 1e-6 || math.Abs(hi-50) > 1e-6 {
+		t.Errorf("rescale should hit both endpoints: [%g, %g]", lo, hi)
+	}
+}
+
+func TestApplyRatesValidation(t *testing.T) {
+	nw := lineNetwork(50)
+	res := &RoutingResult{Rate: []float64{1, 2}}
+	if err := (RoutingModel{}).ApplyRates(nw, res, 1, 50); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	res = &RoutingResult{Rate: []float64{1}}
+	if err := (RoutingModel{}).ApplyRates(nw, res, -1, 50); err == nil {
+		t.Error("negative tauMin accepted")
+	}
+	if err := (RoutingModel{}).ApplyRates(nw, res, 10, 5); err == nil {
+		t.Error("tauMax < tauMin accepted")
+	}
+}
+
+func TestRoutingProducesNearBaseShortCycles(t *testing.T) {
+	// The headline property: after ApplyRates, sensors nearer the base
+	// should on average have shorter cycles — the physical origin of
+	// the paper's linear distribution.
+	r := rng.New(17)
+	nw, err := Generate(r, GenConfig{N: 300, Q: 5, Dist: RandomDist{TauMin: 1, TauMax: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := RoutingModel{CommRange: 200}
+	res, err := m.DeriveRates(nw)
+	if err != nil {
+		t.Fatalf("topology disconnected: %v", err)
+	}
+	if err := m.ApplyRates(nw, res, 1, 50); err != nil {
+		t.Fatal(err)
+	}
+	var nearSum, nearN, farSum, farN float64
+	for _, s := range nw.Sensors {
+		if s.Pos.Dist(nw.Base) < 200 {
+			nearSum += s.Cycle
+			nearN++
+		} else if s.Pos.Dist(nw.Base) > 400 {
+			farSum += s.Cycle
+			farN++
+		}
+	}
+	if nearN == 0 || farN == 0 {
+		t.Skip("degenerate split")
+	}
+	if nearSum/nearN >= farSum/farN {
+		t.Errorf("near-base mean cycle %g >= far mean %g", nearSum/nearN, farSum/farN)
+	}
+}

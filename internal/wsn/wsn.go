@@ -1,0 +1,235 @@
+// Package wsn models the rechargeable wireless sensor network of the
+// paper: sensors with finite batteries deployed in a square field, a base
+// station at the field centre, and q depots hosting the mobile chargers.
+//
+// The package also provides the paper's two charging-cycle distributions
+// (Section VII-A): the linear distribution, where a sensor's mean cycle
+// grows linearly with its distance to the base station (sensors near the
+// base relay traffic and drain faster), and the random distribution,
+// where cycles are uniform over [τ_min, τ_max] (multimedia networks whose
+// consumption is dominated by local processing). A third, routing-derived
+// model builds an explicit unit-disk communication graph, routes every
+// sensor to the base station over a shortest-path tree and derives
+// consumption from relay load — the physical process the linear
+// distribution abstracts.
+package wsn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/metric"
+	"repro/internal/rng"
+)
+
+// Sensor is one rechargeable node. Cycle is its maximum charging cycle
+// τ_i = B_i / ρ_i: the longest time it can run on a full battery. In the
+// variable-cycle experiments Cycle is only the *initial* cycle; the
+// per-slot evolution lives in package energy.
+type Sensor struct {
+	ID       int
+	Pos      geom.Point
+	Capacity float64 // battery capacity B_i, energy units
+	Cycle    float64 // maximum charging cycle τ_i, time units
+}
+
+// Rate returns the sensor's (initial) energy consumption rate
+// ρ_i = B_i / τ_i.
+func (s Sensor) Rate() float64 { return s.Capacity / s.Cycle }
+
+// Network is a deployed sensor network plus charger infrastructure.
+type Network struct {
+	Field   geom.Rect
+	Base    geom.Point
+	Sensors []Sensor
+	Depots  []geom.Point
+}
+
+// N returns the number of sensors.
+func (nw *Network) N() int { return len(nw.Sensors) }
+
+// Q returns the number of depots (= mobile chargers).
+func (nw *Network) Q() int { return len(nw.Depots) }
+
+// Points returns all node locations with the library-wide index
+// convention: sensors first (index = sensor ID), then depots.
+func (nw *Network) Points() []geom.Point {
+	pts := make([]geom.Point, 0, nw.N()+nw.Q())
+	for _, s := range nw.Sensors {
+		pts = append(pts, s.Pos)
+	}
+	pts = append(pts, nw.Depots...)
+	return pts
+}
+
+// Space returns the Euclidean metric space over Points().
+func (nw *Network) Space() metric.Space { return metric.NewEuclidean(nw.Points()) }
+
+// DepotIndex returns the metric-space index of depot l (0-based).
+func (nw *Network) DepotIndex(l int) int { return nw.N() + l }
+
+// DepotIndices returns the metric-space indices of all depots.
+func (nw *Network) DepotIndices() []int {
+	out := make([]int, nw.Q())
+	for l := range out {
+		out[l] = nw.DepotIndex(l)
+	}
+	return out
+}
+
+// SensorIndices returns the metric-space indices of all sensors, which by
+// convention equal the sensor IDs 0..n-1.
+func (nw *Network) SensorIndices() []int {
+	out := make([]int, nw.N())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Cycles returns the sensors' maximum charging cycles indexed by sensor ID.
+func (nw *Network) Cycles() []float64 {
+	out := make([]float64, nw.N())
+	for i, s := range nw.Sensors {
+		out[i] = s.Cycle
+	}
+	return out
+}
+
+// MinCycle returns the smallest maximum charging cycle (the τ_1 of the
+// paper). It panics on an empty network.
+func (nw *Network) MinCycle() float64 {
+	if nw.N() == 0 {
+		panic("wsn: MinCycle of empty network")
+	}
+	m := nw.Sensors[0].Cycle
+	for _, s := range nw.Sensors[1:] {
+		m = math.Min(m, s.Cycle)
+	}
+	return m
+}
+
+// MaxCycle returns the largest maximum charging cycle (τ_n).
+func (nw *Network) MaxCycle() float64 {
+	if nw.N() == 0 {
+		panic("wsn: MaxCycle of empty network")
+	}
+	m := nw.Sensors[0].Cycle
+	for _, s := range nw.Sensors[1:] {
+		m = math.Max(m, s.Cycle)
+	}
+	return m
+}
+
+// Validate checks structural sanity: positive capacities and cycles,
+// sensors and depots inside the field, IDs matching positions.
+func (nw *Network) Validate() error {
+	if nw.Q() == 0 {
+		return fmt.Errorf("wsn: network has no depots")
+	}
+	for i, s := range nw.Sensors {
+		if s.ID != i {
+			return fmt.Errorf("wsn: sensor at position %d has ID %d", i, s.ID)
+		}
+		if s.Capacity <= 0 {
+			return fmt.Errorf("wsn: sensor %d has non-positive capacity %g", i, s.Capacity)
+		}
+		if s.Cycle <= 0 {
+			return fmt.Errorf("wsn: sensor %d has non-positive cycle %g", i, s.Cycle)
+		}
+		if !nw.Field.Contains(s.Pos) {
+			return fmt.Errorf("wsn: sensor %d at %v outside field", i, s.Pos)
+		}
+	}
+	for l, d := range nw.Depots {
+		if !nw.Field.Contains(d) {
+			return fmt.Errorf("wsn: depot %d at %v outside field", l, d)
+		}
+	}
+	return nil
+}
+
+// CycleDist draws a sensor's maximum charging cycle given its location.
+// Implementations must return values in [Min(), Max()].
+type CycleDist interface {
+	// Name identifies the distribution in experiment output.
+	Name() string
+	// Mean returns the location-determined mean cycle for a sensor at
+	// pos (for the random distribution this is the midpoint).
+	Mean(pos geom.Point, base geom.Point, field geom.Rect) float64
+	// Sample draws a cycle for a sensor at pos.
+	Sample(r *rng.Source, pos geom.Point, base geom.Point, field geom.Rect) float64
+	// Min and Max bound every sample.
+	Min() float64
+	Max() float64
+}
+
+// LinearDist is the paper's linear distribution: the mean cycle of a
+// sensor grows linearly from TauMin (at the base station) to TauMax (at
+// the farthest field point), and the sample is uniform in
+// [mean−Sigma, mean+Sigma], clamped to [TauMin, TauMax].
+type LinearDist struct {
+	TauMin, TauMax float64
+	Sigma          float64
+}
+
+// Name implements CycleDist.
+func (d LinearDist) Name() string { return "linear" }
+
+// Min implements CycleDist.
+func (d LinearDist) Min() float64 { return d.TauMin }
+
+// Max implements CycleDist.
+func (d LinearDist) Max() float64 { return d.TauMax }
+
+// Mean implements CycleDist.
+func (d LinearDist) Mean(pos, base geom.Point, field geom.Rect) float64 {
+	// The farthest point from the base within the field is one of the
+	// four corners.
+	far := math.Max(
+		math.Max(base.Dist(field.Min), base.Dist(field.Max)),
+		math.Max(base.Dist(geom.Pt(field.Min.X, field.Max.Y)), base.Dist(geom.Pt(field.Max.X, field.Min.Y))),
+	)
+	if far == 0 {
+		return d.TauMin
+	}
+	frac := pos.Dist(base) / far
+	return d.TauMin + (d.TauMax-d.TauMin)*frac
+}
+
+// Sample implements CycleDist.
+func (d LinearDist) Sample(r *rng.Source, pos, base geom.Point, field geom.Rect) float64 {
+	mean := d.Mean(pos, base, field)
+	v := r.Uniform(mean-d.Sigma, mean+d.Sigma)
+	return clamp(v, d.TauMin, d.TauMax)
+}
+
+// RandomDist is the paper's random distribution: cycles uniform over
+// [TauMin, TauMax] independent of location.
+type RandomDist struct {
+	TauMin, TauMax float64
+}
+
+// Name implements CycleDist.
+func (d RandomDist) Name() string { return "random" }
+
+// Min implements CycleDist.
+func (d RandomDist) Min() float64 { return d.TauMin }
+
+// Max implements CycleDist.
+func (d RandomDist) Max() float64 { return d.TauMax }
+
+// Mean implements CycleDist.
+func (d RandomDist) Mean(pos, base geom.Point, field geom.Rect) float64 {
+	return (d.TauMin + d.TauMax) / 2
+}
+
+// Sample implements CycleDist.
+func (d RandomDist) Sample(r *rng.Source, pos, base geom.Point, field geom.Rect) float64 {
+	return r.Uniform(d.TauMin, d.TauMax)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(math.Max(v, lo), hi)
+}

@@ -1,0 +1,135 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the whole pipeline through the facade the
+// way a downstream user would: generate, plan, verify, simulate, compare.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	r := NewRand(42)
+	net, err := Generate(r.Split(1), GenConfig{
+		N: 60, Q: 5,
+		Dist: LinearDist{TauMin: 1, TauMax: 50, Sigma: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T = 200
+
+	plan, err := PlanFixed(net, T, FixedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Schedule.Verify(net.Cycles(), 1e-6); err != nil {
+		t.Fatalf("plan infeasible: %v", err)
+	}
+	if plan.Cost() <= 0 || plan.LowerBound <= 0 {
+		t.Fatalf("degenerate plan: cost=%g lb=%g", plan.Cost(), plan.LowerBound)
+	}
+
+	greedy, err := RunGreedyFixed(net, T, 1, TourOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedy.Deaths != 0 {
+		t.Fatalf("greedy deaths = %d", greedy.Deaths)
+	}
+	if plan.Cost() >= greedy.Cost() {
+		t.Errorf("MinTotalDistance (%.0f) should beat greedy (%.0f) under the linear distribution",
+			plan.Cost(), greedy.Cost())
+	}
+
+	model, err := NewSlottedModel(net, LinearDist{TauMin: 1, TauMax: 50, Sigma: 2}, 10, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres, pol, err := RunVar(net, model, T, 1, 0, TourOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vres.Deaths != 0 {
+		t.Fatalf("var deaths = %d (replans %d)", vres.Deaths, pol.Replans)
+	}
+	gres, err := RunGreedyVar(net, model, T, 1, 0, TourOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Deaths != 0 {
+		t.Fatalf("greedy-var deaths = %d", gres.Deaths)
+	}
+}
+
+func TestPublicRootedTours(t *testing.T) {
+	net, err := Generate(NewRand(7), GenConfig{
+		N: 30, Q: 3, Dist: RandomDist{TauMin: 1, TauMax: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensors := []int{0, 5, 10, 15, 20, 25}
+	sol := RootedTours(net, sensors, TourOptions{})
+	if sol.Cost() <= 0 {
+		t.Fatalf("cost = %g", sol.Cost())
+	}
+	if sol.Cost() > 2*sol.ForestWeight+1e-9 {
+		t.Fatalf("2-approximation violated: %g > 2*%g", sol.Cost(), sol.ForestWeight)
+	}
+	covered := map[int]bool{}
+	for _, tour := range sol.Tours {
+		for _, s := range tour.Stops {
+			covered[s] = true
+		}
+	}
+	for _, s := range sensors {
+		if !covered[s] {
+			t.Errorf("sensor %d not covered", s)
+		}
+	}
+}
+
+func TestPublicFigureRunsTiny(t *testing.T) {
+	s, err := Figure("1a", ExperimentConfig{Topologies: 2, T: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 5 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	ids := FigureIDs()
+	if len(ids) < 8 {
+		t.Fatalf("FigureIDs = %v", ids)
+	}
+	for _, want := range []string{"1a", "1b", "2a", "2b", "3", "4", "5", "6"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("figure %s missing from %v", want, ids)
+		}
+	}
+}
+
+func TestPublicSimulateCustomPolicy(t *testing.T) {
+	net, err := Generate(NewRand(3), GenConfig{
+		N: 20, Q: 2, Dist: RandomDist{TauMin: 5, TauMax: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := &GreedyPolicy{Threshold: 2}
+	res, err := Simulate(net, NewFixedModel(net), pol, SimConfig{T: 60, Dt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deaths != 0 {
+		t.Fatalf("deaths = %d", res.Deaths)
+	}
+	if !strings.Contains(pol.Name(), "Greedy") {
+		t.Errorf("policy name = %q", pol.Name())
+	}
+}
