@@ -1,0 +1,28 @@
+# Standard entry points; `make check` is what CI (and pre-commit) runs.
+
+GO ?= go
+
+.PHONY: build vet test race bench-smoke bench-check check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in bench code
+# without paying for a real measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 1800s .
+
+# Full regression check against the committed baseline (slow).
+bench-check:
+	scripts/bench.sh check
+
+check: build vet race bench-smoke

@@ -1,0 +1,119 @@
+// Command bench maintains the repository's benchmark baselines.
+//
+// Capture a baseline from raw `go test -bench` output:
+//
+//	go test -run '^$' -bench 'Fig|Ablation' -benchtime 3x -count 3 -benchmem . |
+//	    go run ./cmd/bench -parse -o BENCH_seed.json
+//
+// Compare a fresh capture against a committed baseline (exit status 1
+// when any benchmark is more than -threshold slower):
+//
+//	go run ./cmd/bench -compare BENCH_seed.json BENCH_new.json
+//
+// scripts/bench.sh wraps both steps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	var (
+		parse     = flag.Bool("parse", false, "parse raw go test -bench output from stdin (or -i) into a JSON baseline")
+		in        = flag.String("i", "", "input file for -parse (default stdin)")
+		out       = flag.String("o", "", "output file for -parse (default stdout)")
+		compare   = flag.Bool("compare", false, "compare two baselines: -compare BASE.json CURRENT.json")
+		threshold = flag.Float64("threshold", 0.15, "fractional ns/op growth that counts as a regression")
+	)
+	flag.Parse()
+	switch {
+	case *parse:
+		if err := runParse(*in, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
+	case *compare:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "bench: -compare needs exactly two baseline files")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runParse(in, out string) error {
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	parsed, err := benchfmt.Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(parsed.Results) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return benchfmt.Write(w, parsed)
+}
+
+func runCompare(basePath, curPath string, threshold float64) (bool, error) {
+	base, err := readBaseline(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := readBaseline(curPath)
+	if err != nil {
+		return false, err
+	}
+	deltas := benchfmt.Compare(base, cur, threshold)
+	if len(deltas) == 0 {
+		return false, fmt.Errorf("baselines %s and %s share no benchmarks", basePath, curPath)
+	}
+	for _, d := range deltas {
+		status := "ok"
+		if d.Regression {
+			status = "REGRESSION"
+		}
+		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  %5.2fx  %s\n",
+			d.Name, d.BaseNs, d.CurNs, d.Ratio, status)
+	}
+	return benchfmt.AnyRegression(deltas), nil
+}
+
+func readBaseline(path string) (benchfmt.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return benchfmt.File{}, err
+	}
+	defer f.Close()
+	return benchfmt.ReadFile(f)
+}

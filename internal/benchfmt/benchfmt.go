@@ -1,0 +1,209 @@
+// Package benchfmt parses `go test -bench` output into a stable JSON
+// baseline format and compares two baselines for performance
+// regressions. It backs cmd/bench and scripts/bench.sh: a captured
+// baseline (BENCH_<label>.json) is committed, and CI or a developer run
+// fails when a benchmark slows down by more than a threshold.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement. When a raw capture
+// repeats a benchmark (-count > 1), Runs counts the repetitions and the
+// per-op fields keep the minimum observed ns/op run — the run least
+// disturbed by scheduling noise, the standard choice for baselines.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// File is the JSON baseline: capture environment plus results.
+type File struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"benchmarks"`
+}
+
+// Parse reads raw `go test -bench` output and aggregates it into a
+// File. Benchmark lines look like
+//
+//	BenchmarkFig1aLinearN  3  10122907 ns/op  11045362 B/op  38204 allocs/op
+//
+// possibly with a -4 style GOMAXPROCS suffix on the name; header lines
+// (goos:, goarch:, pkg:, cpu:) fill the environment fields. Lines that
+// are neither are ignored, so `go test` chatter (PASS, ok, warmup
+// output) is harmless.
+func Parse(r io.Reader) (File, error) {
+	var f File
+	type acc struct {
+		Result
+		seen bool
+	}
+	byName := map[string]*acc{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			f.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			f.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			f.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			f.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return File{}, err
+		}
+		a, ok := byName[res.Name]
+		if !ok {
+			a = &acc{}
+			byName[res.Name] = a
+			order = append(order, res.Name)
+		}
+		a.Runs++
+		if !a.seen || res.NsPerOp < a.NsPerOp {
+			runs := a.Runs
+			a.Result = res
+			a.Runs = runs
+			a.seen = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return File{}, err
+	}
+	for _, name := range order {
+		f.Results = append(f.Results, byName[name].Result)
+	}
+	return f, nil
+}
+
+// parseLine parses one benchmark result line.
+func parseLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, fmt.Errorf("benchfmt: short benchmark line %q", line)
+	}
+	name := fields[0]
+	// Strip the GOMAXPROCS suffix (BenchmarkX-8) so baselines captured
+	// at different -cpu settings still pair up by benchmark.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return Result{}, fmt.Errorf("benchfmt: bad iteration count in %q: %v", line, err)
+	}
+	res := Result{Name: name, Iterations: iters}
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("benchfmt: bad value in %q: %v", line, err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	if res.NsPerOp == 0 {
+		return Result{}, fmt.Errorf("benchfmt: no ns/op in %q", line)
+	}
+	return res, nil
+}
+
+// Write serializes f as indented JSON.
+func Write(w io.Writer, f File) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadFile deserializes a baseline written by Write.
+func ReadFile(r io.Reader) (File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return File{}, fmt.Errorf("benchfmt: %v", err)
+	}
+	return f, nil
+}
+
+// Delta is one benchmark's comparison between a baseline and a current
+// capture. Ratio is current/baseline ns/op: 1.10 means 10% slower,
+// 0.50 means twice as fast.
+type Delta struct {
+	Name       string
+	BaseNs     float64
+	CurNs      float64
+	Ratio      float64
+	Regression bool
+}
+
+// Compare pairs two baselines by benchmark name and flags every
+// benchmark whose ns/op grew by more than threshold (0.15 = fail at
+// >15% slower). Benchmarks present in only one file are skipped — a
+// renamed or added benchmark is not a regression. Deltas come back
+// sorted by descending ratio, worst first.
+func Compare(base, cur File, threshold float64) []Delta {
+	baseBy := map[string]Result{}
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	var out []Delta
+	for _, c := range cur.Results {
+		b, ok := baseBy[c.Name]
+		if !ok {
+			continue
+		}
+		d := Delta{
+			Name:   c.Name,
+			BaseNs: b.NsPerOp,
+			CurNs:  c.NsPerOp,
+			Ratio:  c.NsPerOp / b.NsPerOp,
+		}
+		d.Regression = d.Ratio > 1+threshold
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	return out
+}
+
+// AnyRegression reports whether any delta is flagged.
+func AnyRegression(deltas []Delta) bool {
+	for _, d := range deltas {
+		if d.Regression {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFig1aLinearN             	       3	  10122907 ns/op	11045362 B/op	   38204 allocs/op
+BenchmarkFig1aLinearN             	       3	   8546871 ns/op	11045341 B/op	   38204 allocs/op
+BenchmarkFig1bRandomN-8           	       3	  11301038 ns/op	15530090 B/op	   58960 allocs/op
+PASS
+ok  	repro	25.1s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || f.Pkg != "repro" {
+		t.Errorf("environment = %q/%q/%q", f.Goos, f.Goarch, f.Pkg)
+	}
+	if len(f.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(f.Results))
+	}
+	a := f.Results[0]
+	if a.Name != "BenchmarkFig1aLinearN" || a.Runs != 2 {
+		t.Errorf("first result = %+v", a)
+	}
+	if a.NsPerOp != 8546871 {
+		t.Errorf("aggregated ns/op = %g, want the min 8546871", a.NsPerOp)
+	}
+	if a.AllocsPerOp != 38204 || a.BytesPerOp != 11045341 {
+		t.Errorf("mem stats = %g B/op %g allocs/op", a.BytesPerOp, a.AllocsPerOp)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so baselines pair up.
+	if b := f.Results[1]; b.Name != "BenchmarkFig1bRandomN" {
+		t.Errorf("suffix not stripped: %q", b.Name)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX 3 nonsense ns/op\n")); err == nil {
+		t.Error("malformed value accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX 3\n")); err == nil {
+		t.Error("short line accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(f.Results) || got.Results[0] != f.Results[0] {
+		t.Errorf("round trip changed results: %+v != %+v", got.Results, f.Results)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := File{Results: []Result{
+		{Name: "A", NsPerOp: 100},
+		{Name: "B", NsPerOp: 100},
+		{Name: "Gone", NsPerOp: 100},
+	}}
+	cur := File{Results: []Result{
+		{Name: "A", NsPerOp: 110}, // +10%: within a 15% threshold
+		{Name: "B", NsPerOp: 120}, // +20%: regression
+		{Name: "New", NsPerOp: 50},
+	}}
+	deltas := Compare(base, cur, 0.15)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2 (unpaired skipped): %+v", len(deltas), deltas)
+	}
+	// Sorted worst-first.
+	if deltas[0].Name != "B" || !deltas[0].Regression {
+		t.Errorf("worst delta = %+v, want regression on B", deltas[0])
+	}
+	if deltas[1].Name != "A" || deltas[1].Regression {
+		t.Errorf("delta A = %+v, want no regression", deltas[1])
+	}
+	if !AnyRegression(deltas) {
+		t.Error("AnyRegression = false")
+	}
+	if AnyRegression(Compare(base, base, 0.15)) {
+		t.Error("self-comparison flagged a regression")
+	}
+}

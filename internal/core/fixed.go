@@ -45,6 +45,11 @@ type FixedOptions struct {
 	// the same sensors are charged at the same times, possibly by
 	// several back-to-back sorties from the same depot.
 	SortieBudget float64
+	// Space, if non-nil, is a prebuilt metric over the network's points
+	// (net.Space() order). Callers running several plans on one
+	// topology pass the dense matrix once instead of re-materializing
+	// it per call; it is only ever read.
+	Space metric.Space
 }
 
 func (o FixedOptions) base() (float64, error) {
@@ -106,7 +111,13 @@ func PlanFixed(net *wsn.Network, T float64, opt FixedOptions) (*FixedPlan, error
 		return nil, err
 	}
 	cycles := net.Cycles()
-	space := metric.Materialize(net.Space())
+	src := opt.Space
+	if src == nil {
+		src = net.Space()
+	} else if src.Len() != net.Space().Len() {
+		return nil, fmt.Errorf("core: FixedOptions.Space has %d points, network has %d", src.Len(), net.Space().Len())
+	}
+	space := metric.Materialize(src) // no-op when a Dense was passed in
 	depots := net.DepotIndices()
 
 	tau1 := net.MinCycle()

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rooted"
+	"repro/internal/sim"
+)
+
+// TestVarMemoHitsAndIdenticalTours is the memoization acceptance check:
+// over a long periodic schedule the cross-plan tour cache must actually
+// hit, and the memoized run must dispatch bit-identical tours to a run
+// with the cache disabled — memoization is a pure time/space trade.
+func TestVarMemoHitsAndIdenticalTours(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long horizon")
+	}
+	nw := genNet(t, 11, 40, 4, linearDist())
+	const T, dT = 1000, 10
+
+	run := func(noMemo bool) (sim.Result, *Var) {
+		// Fresh slotted models with equal seeds draw identical cycle
+		// trajectories, so the two runs see the same world.
+		model := slottedModel(t, nw, linearDist(), dT, 99)
+		pol := NewVar(rooted.Options{})
+		pol.NoMemo = noMemo
+		res, err := sim.Run(nw, model, pol, sim.Config{T: T, Dt: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, pol
+	}
+
+	memoRes, memoPol := run(false)
+	plainRes, plainPol := run(true)
+
+	hits, misses := memoPol.MemoStats()
+	if hits == 0 {
+		t.Errorf("memoized run recorded no cache hits (%d misses) over T=%d", misses, T)
+	}
+	if misses == 0 {
+		t.Error("memoized run recorded no misses; cache cannot be primed for free")
+	}
+	if h, m := plainPol.MemoStats(); h != 0 || m != 0 {
+		t.Errorf("NoMemo run touched the cache: %d hits, %d misses", h, m)
+	}
+
+	if memoRes.Cost() != plainRes.Cost() {
+		t.Errorf("cost diverged: memo %v, plain %v", memoRes.Cost(), plainRes.Cost())
+	}
+	if len(memoRes.Schedule.Rounds) != len(plainRes.Schedule.Rounds) {
+		t.Fatalf("round count diverged: %d vs %d",
+			len(memoRes.Schedule.Rounds), len(plainRes.Schedule.Rounds))
+	}
+	for i := range memoRes.Schedule.Rounds {
+		a, b := memoRes.Schedule.Rounds[i], plainRes.Schedule.Rounds[i]
+		if a.Time != b.Time || !reflect.DeepEqual(a.Tours, b.Tours) {
+			t.Fatalf("round %d diverged between memoized and plain runs", i)
+		}
+	}
+}

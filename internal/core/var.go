@@ -48,6 +48,10 @@ type Var struct {
 	// Larger thresholds save radio traffic at the price of staler
 	// planning inputs; UpdatesReceived counts the reports.
 	UpdateThreshold float64
+	// NoMemo disables the cross-plan tour memoization (ablation and
+	// verification hook); every round solution is then rebuilt from
+	// scratch exactly as the pre-memoization code did.
+	NoMemo bool
 
 	plan     *varPlan
 	assigned []float64 // τ̂'_i under the current plan
@@ -62,6 +66,7 @@ type Var struct {
 	UpdatesReceived int
 
 	reported []float64 // last cycle each sensor reported to the BS
+	memo     tourMemo  // cross-plan (depots, members, options) tour cache
 }
 
 // varPlan is one planning epoch: a MinTotalDistance schedule anchored at
@@ -385,16 +390,97 @@ func (v *Var) roundSolution(env *sim.Env, j int) (*rooted.Solution, error) {
 			members = append(members, p.prefix[p.roundClass(j)]...)
 		}
 		members = append(members, p.patches[j]...)
-		sol := rooted.Tours(env.Space, p.depots, members, v.Rooted)
-		p.patched[j] = &sol
-		return &sol, nil
+		sol := v.memoTours(env, p.depots, members)
+		p.patched[j] = sol
+		return sol, nil
 	}
 	k := p.roundClass(j)
 	if p.sols[k] == nil {
-		sol := rooted.Tours(env.Space, p.depots, p.prefix[k], v.Rooted)
-		p.sols[k] = &sol
+		p.sols[k] = v.memoTours(env, p.depots, p.prefix[k])
 	}
 	return p.sols[k], nil
+}
+
+// MemoStats returns the hit/miss counters of the cross-plan tour cache
+// (diagnostic; hits mean a re-plan re-requested a round whose depot set,
+// member sequence and tour options were solved before).
+func (v *Var) MemoStats() (hits, misses int) { return v.memo.hits, v.memo.misses }
+
+// memoTours returns the q-rooted TSP solution for (depots, members)
+// under v.Rooted, reusing a previously computed solution when an earlier
+// planning epoch solved the identical subproblem. Dispatch rounds repeat
+// member sets with period 2^K and re-plans mostly reshuffle a few
+// classes, so identical (depots, member-sequence, options) tuples recur
+// throughout a run; rooted.Tours is deterministic in those inputs, so a
+// cache hit is bit-identical to recomputation. Cached solutions are
+// shared read-only, the same contract varPlan.sols already relies on.
+//
+// The cache key is the exact tuple, not just its hash: entries carry
+// their key material and hash buckets are compared element-wise, so a
+// hash collision can never return the wrong tours.
+func (v *Var) memoTours(env *sim.Env, depots, members []int) *rooted.Solution {
+	if v.NoMemo {
+		sol := rooted.Tours(env.Space, depots, members, v.Rooted)
+		return &sol
+	}
+	key := memoKey(depots, members, v.Rooted)
+	h := hashInts(key)
+	for _, e := range v.memo.entries[h] {
+		if sameInts(e.key, key) {
+			v.memo.hits++
+			return e.sol
+		}
+	}
+	v.memo.misses++
+	sol := rooted.Tours(env.Space, depots, members, v.Rooted)
+	if v.memo.entries == nil {
+		v.memo.entries = make(map[uint64][]memoEntry)
+	}
+	v.memo.entries[h] = append(v.memo.entries[h], memoEntry{key: key, sol: &sol})
+	return &sol
+}
+
+// tourMemo is the Var planner's cross-plan cache of round solutions.
+// It is valid for the lifetime of one simulation run: the metric space
+// is fixed at Init and every key captures the remaining inputs.
+type tourMemo struct {
+	entries      map[uint64][]memoEntry
+	hits, misses int
+}
+
+type memoEntry struct {
+	key []int
+	sol *rooted.Solution
+}
+
+// memoKey encodes the (options, depots, members) tuple as a flat int
+// sequence. Order matters and is preserved: rooted.Tours output depends
+// on the order of both index lists, so only an exactly repeated call is
+// allowed to hit.
+func memoKey(depots, members []int, opt rooted.Options) []int {
+	key := make([]int, 0, 4+len(depots)+len(members))
+	refine := 0
+	if opt.Refine {
+		refine = 1
+	}
+	key = append(key, int(opt.Method), refine, opt.MaxRefineRounds, len(depots))
+	key = append(key, depots...)
+	key = append(key, members...)
+	return key
+}
+
+// hashInts is FNV-1a folded over the key words.
+func hashInts(key []int) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, k := range key {
+		x := uint64(k)
+		for b := 0; b < 8; b++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	return h
 }
 
 // sameInts reports whether two int slices are element-wise equal.

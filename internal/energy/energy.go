@@ -37,6 +37,7 @@ type Model interface {
 type Fixed struct {
 	caps   []float64
 	cycles []float64
+	rates  []float64 // caps[i]/cycles[i], precomputed for the hot Rate path
 }
 
 // NewFixed builds a Fixed model from the network's current cycles.
@@ -44,10 +45,12 @@ func NewFixed(nw *wsn.Network) *Fixed {
 	f := &Fixed{
 		caps:   make([]float64, nw.N()),
 		cycles: make([]float64, nw.N()),
+		rates:  make([]float64, nw.N()),
 	}
 	for i, s := range nw.Sensors {
 		f.caps[i] = s.Capacity
 		f.cycles[i] = s.Cycle
+		f.rates[i] = s.Capacity / s.Cycle
 	}
 	return f
 }
@@ -56,7 +59,7 @@ func NewFixed(nw *wsn.Network) *Fixed {
 func (f *Fixed) Cycle(i int, t float64) float64 { return f.cycles[i] }
 
 // Rate implements Model.
-func (f *Fixed) Rate(i int, t float64) float64 { return f.caps[i] / f.cycles[i] }
+func (f *Fixed) Rate(i int, t float64) float64 { return f.rates[i] }
 
 // SlotLength implements Model.
 func (f *Fixed) SlotLength() float64 { return math.Inf(1) }
@@ -75,6 +78,11 @@ type Slotted struct {
 	src   *rng.Source
 	slots map[int][]float64 // slot -> cycles (lazily built)
 	slot0 []float64         // slot 0 pinned to the network's initial cycles
+
+	// The simulator queries the same slot for every sensor in a row, so
+	// the last slot's cycles are memoized past the map lookup.
+	memoSlot   int
+	memoCycles []float64
 }
 
 // NewSlotted builds a Slotted model. Slot 0 uses the network's initial
@@ -99,15 +107,19 @@ func (s *Slotted) cyclesFor(slot int) []float64 {
 	if slot <= 0 {
 		return s.slot0
 	}
-	if c, ok := s.slots[slot]; ok {
-		return c
+	if slot == s.memoSlot {
+		return s.memoCycles
 	}
-	c := make([]float64, s.nw.N())
-	for i := range c {
-		r := s.src.Split(uint64(slot), uint64(i))
-		c[i] = s.dist.Sample(r, s.nw.Sensors[i].Pos, s.nw.Base, s.nw.Field)
+	c, ok := s.slots[slot]
+	if !ok {
+		c = make([]float64, s.nw.N())
+		for i := range c {
+			r := s.src.Split(uint64(slot), uint64(i))
+			c[i] = s.dist.Sample(r, s.nw.Sensors[i].Pos, s.nw.Base, s.nw.Field)
+		}
+		s.slots[slot] = c
 	}
-	s.slots[slot] = c
+	s.memoSlot, s.memoCycles = slot, c
 	return c
 }
 

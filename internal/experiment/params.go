@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/metric"
 	"repro/internal/rng"
 	"repro/internal/rooted"
 	"repro/internal/sim"
@@ -119,20 +120,56 @@ type Outcome struct {
 // yields the same topology and cycle draws regardless of which algorithms
 // run or in what order, so per-cell comparisons are paired.
 func RunOne(algo string, p Params) (Outcome, error) {
-	net, err := p.Network()
+	pr, err := Prepare(p)
 	if err != nil {
 		return Outcome{}, err
 	}
+	return pr.Run(algo, p)
+}
+
+// Prepared holds the per-cell state every algorithm of the cell shares:
+// the generated topology, its materialized distance matrix, and (in the
+// variable regime) the slotted energy model. The matrix is read-only;
+// the model's draws are a pure function of (seed, sensor, slot), so
+// sharing one lazily-populated instance across the cell's algorithms is
+// observationally identical to giving each its own — it just pays the
+// expensive per-(slot, sensor) seeding once per cell instead of once
+// per algorithm. A Prepared is not safe for concurrent use.
+type Prepared struct {
+	Net   *wsn.Network
+	Space metric.Dense
+
+	model     energy.Model
+	modelSeed uint64
+	modelSlot float64
+}
+
+// Prepare generates the cell's topology and materializes its distance
+// matrix once, for use with Run across several algorithms.
+func Prepare(p Params) (*Prepared, error) {
+	net, err := p.Network()
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Net: net, Space: metric.Materialize(net.Space())}, nil
+}
+
+// Run executes one algorithm on the prepared cell. p must describe the
+// same cell the Prepared was built from; results are identical to
+// RunOne(algo, p). Millis covers the algorithm only, excluding topology
+// generation.
+func (pr *Prepared) Run(algo string, p Params) (Outcome, error) {
 	dt := p.Dt
 	if dt == 0 {
 		dt = p.TauMin
 	}
 	start := time.Now()
 	var out Outcome
+	var err error
 	if p.Variable {
-		out, err = runVariable(algo, p, net, dt)
+		out, err = runVariable(algo, p, pr, dt)
 	} else {
-		out, err = runFixed(algo, p, net, dt)
+		out, err = runFixed(algo, p, pr.Net, pr.Space, dt)
 	}
 	if err != nil {
 		return Outcome{}, err
@@ -141,10 +178,31 @@ func RunOne(algo string, p Params) (Outcome, error) {
 	return out, nil
 }
 
-func runFixed(algo string, p Params, net *wsn.Network, dt float64) (Outcome, error) {
+// slottedModel returns the cell's shared variable-cycle model, building
+// it on first use (and rebuilding if p changed, so a reused Prepared
+// never serves a stale stream).
+func (pr *Prepared) slottedModel(p Params) (energy.Model, error) {
+	if pr.model != nil && pr.modelSeed == p.Seed && pr.modelSlot == p.SlotDT {
+		return pr.model, nil
+	}
+	dist, err := p.Dist()
+	if err != nil {
+		return nil, err
+	}
+	// The model stream depends only on the cell seed, so every
+	// algorithm sees identical cycle trajectories.
+	m, err := energy.NewSlotted(pr.Net, dist, p.SlotDT, rng.New(p.Seed).Split(0xE0))
+	if err != nil {
+		return nil, err
+	}
+	pr.model, pr.modelSeed, pr.modelSlot = m, p.Seed, p.SlotDT
+	return m, nil
+}
+
+func runFixed(algo string, p Params, net *wsn.Network, space metric.Dense, dt float64) (Outcome, error) {
 	switch algo {
 	case AlgoMTD, AlgoMTDRefined, AlgoMTDVoronoi, AlgoMTDChristo:
-		opt := core.FixedOptions{Rooted: p.Rooted, Base: p.Base}
+		opt := core.FixedOptions{Rooted: p.Rooted, Base: p.Base, Space: space}
 		switch algo {
 		case AlgoMTDRefined:
 			opt.Rooted.Refine = true
@@ -166,15 +224,16 @@ func runFixed(algo string, p Params, net *wsn.Network, dt float64) (Outcome, err
 			LowerBound: plan.LowerBound,
 		}, nil
 	case AlgoGreedy:
-		res, err := core.RunGreedyFixed(net, p.T, dt, p.Rooted)
+		res, err := sim.Run(net, energy.NewFixed(net), &core.Greedy{Rooted: p.Rooted},
+			sim.Config{T: p.T, Dt: dt, Space: space})
 		if err != nil {
 			return Outcome{}, err
 		}
 		return Outcome{Cost: res.Cost(), Deaths: res.Deaths, Dispatches: res.Schedule.Dispatches()}, nil
 	case AlgoChargeAll:
-		return runChargeAll(p, net)
+		return runChargeAll(p, net, space)
 	case AlgoQRootedApprox, AlgoQRootedRefined, AlgoQRootedExact:
-		return runQRooted(algo, p, net)
+		return runQRooted(algo, net, space)
 	default:
 		return Outcome{}, fmt.Errorf("experiment: algorithm %q not valid for fixed cycles", algo)
 	}
@@ -183,8 +242,7 @@ func runFixed(algo string, p Params, net *wsn.Network, dt float64) (Outcome, err
 // runQRooted evaluates a single q-rooted TSP round over all sensors —
 // the unit the approximation-ratio ablation compares against the exact
 // optimum on small instances.
-func runQRooted(algo string, p Params, net *wsn.Network) (Outcome, error) {
-	space := net.Space()
+func runQRooted(algo string, net *wsn.Network, space metric.Dense) (Outcome, error) {
 	depots, sensors := net.DepotIndices(), net.SensorIndices()
 	switch algo {
 	case AlgoQRootedApprox:
@@ -202,29 +260,21 @@ func runQRooted(algo string, p Params, net *wsn.Network) (Outcome, error) {
 	}
 }
 
-func runVariable(algo string, p Params, net *wsn.Network, dt float64) (Outcome, error) {
+func runVariable(algo string, p Params, pr *Prepared, dt float64) (Outcome, error) {
 	if p.SlotDT <= 0 {
 		return Outcome{}, fmt.Errorf("experiment: variable regime needs SlotDT > 0, got %g", p.SlotDT)
 	}
-	dist, err := p.Dist()
+	net, space := pr.Net, pr.Space
+	model, err := pr.slottedModel(p)
 	if err != nil {
 		return Outcome{}, err
 	}
-	newModel := func() (energy.Model, error) {
-		// The model stream depends only on the cell seed, so every
-		// algorithm sees identical cycle trajectories.
-		return energy.NewSlotted(net, dist, p.SlotDT, rng.New(p.Seed).Split(0xE0))
-	}
 	switch algo {
 	case AlgoMTDVar, AlgoMTDVarNoGuard:
-		model, err := newModel()
-		if err != nil {
-			return Outcome{}, err
-		}
 		pol := core.NewVar(p.Rooted)
 		pol.NoLifetimeGuard = algo == AlgoMTDVarNoGuard
 		pol.UpdateThreshold = p.UpdateThreshold
-		res, err := sim.Run(net, model, pol, sim.Config{T: p.T, Dt: dt, Gamma: p.Gamma})
+		res, err := sim.Run(net, model, pol, sim.Config{T: p.T, Dt: dt, Gamma: p.Gamma, Space: space})
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -233,11 +283,8 @@ func runVariable(algo string, p Params, net *wsn.Network, dt float64) (Outcome, 
 			Dispatches: res.Schedule.Dispatches(), Replans: pol.Replans,
 		}, nil
 	case AlgoGreedy:
-		model, err := newModel()
-		if err != nil {
-			return Outcome{}, err
-		}
-		res, err := core.RunGreedyVar(net, model, p.T, dt, p.Gamma, p.Rooted)
+		res, err := sim.Run(net, model, &core.Greedy{Rooted: p.Rooted},
+			sim.Config{T: p.T, Dt: dt, Gamma: p.Gamma, Space: space})
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -251,8 +298,7 @@ func runVariable(algo string, p Params, net *wsn.Network, dt float64) (Outcome, 
 // Section III-C: dispatch all q chargers over *all* sensors every τ_min.
 // Its cost is one full q-rooted TSP times the number of τ_min intervals
 // in T.
-func runChargeAll(p Params, net *wsn.Network) (Outcome, error) {
-	space := net.Space()
+func runChargeAll(p Params, net *wsn.Network, space metric.Dense) (Outcome, error) {
 	sol := rooted.Tours(space, net.DepotIndices(), net.SensorIndices(), p.Rooted)
 	tau1 := net.MinCycle()
 	rounds := int(math.Ceil(p.T/tau1)) - 1

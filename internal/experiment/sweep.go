@@ -123,9 +123,19 @@ func (s Sweep) Run() (Series, error) {
 				}
 				p := s.Make(s.Xs[c.XIndex], c.Topology)
 				p.Seed = master.Split(hashName(s.Name), math.Float64bits(s.Xs[c.XIndex]), uint64(c.Topology)).Seed()
+				// Prepare the cell once: topology, dense distance
+				// matrix, and (variable regime) the slotted model are
+				// shared by every algorithm of the cell. Workers never
+				// share cells, so the sharing is goroutine-local.
+				pr, err := Prepare(p)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("experiment: %s x=%v topo=%d: %w",
+						s.Name, s.Xs[c.XIndex], c.Topology, err))
+					continue
+				}
 				outs := make(map[string]Outcome, len(s.Algorithms))
 				for _, algo := range s.Algorithms {
-					o, err := RunOne(algo, p)
+					o, err := pr.Run(algo, p)
 					if err != nil {
 						firstErr.CompareAndSwap(nil, fmt.Errorf("experiment: %s x=%v topo=%d algo=%s: %w",
 							s.Name, s.Xs[c.XIndex], c.Topology, algo, err))

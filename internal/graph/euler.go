@@ -21,23 +21,18 @@ func EulerCircuit(n int, edges []Edge, start int) ([]int, error) {
 	if len(edges) == 0 {
 		return []int{start}, nil
 	}
+	// Half-edges live in one flat CSR array (vertex v owns
+	// halves[off[v]:off[v+1]]) instead of n per-vertex slices: the walk
+	// below is called once per tour per round, so its setup must be a
+	// handful of allocations, not O(n). The per-vertex order matches
+	// what per-vertex appends would produce (edge input order, twin
+	// halves of a self-loop adjacent), so the circuit is unchanged.
 	type half struct {
 		to   int
-		pair int // index of twin half-edge
+		pair int // flat index of the twin half-edge
 	}
-	adj := make([][]half, n)
 	deg := make([]int, n)
 	for _, e := range edges {
-		iu := len(adj[e.U])
-		iv := len(adj[e.V])
-		if e.U == e.V {
-			// A self-loop contributes two half-edges on the same list.
-			adj[e.U] = append(adj[e.U], half{to: e.V, pair: iu + 1}, half{to: e.U, pair: iu})
-			deg[e.U] += 2
-			continue
-		}
-		adj[e.U] = append(adj[e.U], half{to: e.V, pair: iv})
-		adj[e.V] = append(adj[e.V], half{to: e.U, pair: iu})
 		deg[e.U]++
 		deg[e.V]++
 	}
@@ -49,28 +44,47 @@ func EulerCircuit(n int, edges []Edge, start int) ([]int, error) {
 	if deg[start] == 0 {
 		return nil, fmt.Errorf("graph: Euler start %d has no incident edges", start)
 	}
-
-	used := make([][]bool, n)
-	next := make([]int, n) // per-vertex cursor into adj
-	for v := range used {
-		used[v] = make([]bool, len(adj[v]))
+	off := make([]int, n+1)
+	for v, d := range deg {
+		off[v+1] = off[v] + d
 	}
+	halves := make([]half, 2*len(edges))
+	cur := make([]int, n) // fill cursor, then reused as the walk cursor
+	copy(cur, off[:n])
+	for _, e := range edges {
+		iu, iv := cur[e.U], cur[e.V]
+		if e.U == e.V {
+			// A self-loop contributes two adjacent half-edges.
+			halves[iu] = half{to: e.V, pair: iu + 1}
+			halves[iu+1] = half{to: e.U, pair: iu}
+			cur[e.U] += 2
+			continue
+		}
+		halves[iu] = half{to: e.V, pair: iv}
+		halves[iv] = half{to: e.U, pair: iu}
+		cur[e.U]++
+		cur[e.V]++
+	}
+	copy(cur, off[:n])
+
+	used := make([]bool, len(halves))
 	// Iterative Hierholzer: walk until stuck, backtrack, splice.
-	stack := []int{start}
-	var circuit []int
+	stack := make([]int, 1, len(edges)+1)
+	stack[0] = start
+	circuit := make([]int, 0, len(edges)+1)
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		advanced := false
-		for next[v] < len(adj[v]) {
-			i := next[v]
-			if used[v][i] {
-				next[v]++
+		for cur[v] < off[v+1] {
+			i := cur[v]
+			if used[i] {
+				cur[v]++
 				continue
 			}
-			h := adj[v][i]
-			used[v][i] = true
-			used[h.to][h.pair] = true
-			next[v]++
+			h := halves[i]
+			used[i] = true
+			used[h.pair] = true
+			cur[v]++
 			stack = append(stack, h.to)
 			advanced = true
 			break
@@ -102,7 +116,15 @@ func Shortcut(walk []int) []int {
 	if len(walk) == 0 {
 		return nil
 	}
-	seen := make(map[int]bool, len(walk))
+	// Vertices are small metric-space indices, so a flat seen-slice
+	// (sized to the walk's max vertex) beats a map in this hot path.
+	max := walk[0]
+	for _, v := range walk[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	seen := make([]bool, max+1)
 	out := make([]int, 0, len(walk))
 	for _, v := range walk {
 		if !seen[v] {

@@ -67,6 +67,7 @@ func PrimMST(sp metric.Space, root int) Tree {
 	best[root] = 0
 	parent[root] = -1
 	var total float64
+	dense, isDense := metric.AsDense(sp)
 	for iter := 0; iter < n; iter++ {
 		// Pick the cheapest fringe vertex.
 		u, bw := -1, math.Inf(1)
@@ -82,6 +83,17 @@ func PrimMST(sp metric.Space, root int) Tree {
 		}
 		inTree[u] = true
 		total += bw
+		if isDense {
+			// Devirtualized scan: one contiguous row, plain indexing.
+			row := dense.Row(u)
+			for v := 0; v < n; v++ {
+				if !inTree[v] && row[v] < best[v] {
+					best[v] = row[v]
+					parent[v] = u
+				}
+			}
+			continue
+		}
 		for v := 0; v < n; v++ {
 			if !inTree[v] {
 				if d := sp.Dist(u, v); d < best[v] {

@@ -92,23 +92,44 @@ func (s Sub) Len() int { return len(s.Idx) }
 // Dist implements Space.
 func (s Sub) Dist(i, j int) float64 { return s.Parent.Dist(s.Idx[i], s.Idx[j]) }
 
-// Materialize copies sp into an explicit Matrix. Useful when the same
-// sub-space will be queried many times and the parent distance is
-// expensive.
-func Materialize(sp Space) Matrix {
-	n := sp.Len()
-	d := make([][]float64, n)
-	flat := make([]float64, n*n)
-	for i := range d {
-		d[i] = flat[i*n : (i+1)*n]
+// Materialize copies sp into a flat Dense matrix, the layout every hot
+// loop devirtualizes on. Useful when the same space will be queried many
+// times and Dist is expensive (Euclidean square roots, Sub indirection).
+//
+// Aliasing contract: a sp that is already Dense (or *Dense) is returned
+// as-is — the result shares its backing array with the input and no
+// distances are recomputed. All other inputs, including Matrix and Sub,
+// are copied into fresh storage (a Matrix is row-copied without Dist
+// calls; a Sub gathers from its parent via Flatten). Callers must treat
+// any materialized space as read-only.
+func Materialize(sp Space) Dense {
+	switch s := sp.(type) {
+	case Dense:
+		return s
+	case *Dense:
+		return *s
+	case Matrix:
+		out := NewDense(len(s.D))
+		for i, row := range s.D {
+			copy(out.Row(i), row)
+		}
+		return out
+	case Sub:
+		return s.Flatten()
+	case *Sub:
+		return s.Flatten()
 	}
+	n := sp.Len()
+	out := NewDense(n)
 	for i := 0; i < n; i++ {
+		row := out.Row(i)
 		for j := i + 1; j < n; j++ {
 			v := sp.Dist(i, j)
-			d[i][j], d[j][i] = v, v
+			row[j] = v
+			out.Row(j)[i] = v
 		}
 	}
-	return Matrix{D: d}
+	return out
 }
 
 // CheckTriangle verifies the triangle inequality on sp up to tolerance

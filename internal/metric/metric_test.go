@@ -78,10 +78,13 @@ func TestMaterialize(t *testing.T) {
 			if m.Dist(i, j) != sp.Dist(i, j) {
 				t.Errorf("Materialize mismatch at (%d,%d)", i, j)
 			}
+			if m.Dist(i, j) != m.Dist(j, i) {
+				t.Errorf("materialized matrix asymmetric at (%d,%d)", i, j)
+			}
 		}
-	}
-	if _, err := NewMatrix(m.D); err != nil {
-		t.Errorf("materialized matrix not valid: %v", err)
+		if m.Dist(i, i) != 0 {
+			t.Errorf("materialized matrix has nonzero diagonal at %d", i)
+		}
 	}
 }
 

@@ -20,6 +20,15 @@ import (
 // same depots. maxMoves bounds the number of relocations (0 means a
 // default of 4x the sensor count).
 func BalanceTours(sp metric.Space, sol Solution, maxMoves int) Solution {
+	// One type switch up front; the relocation search below then runs
+	// with inlined distance lookups when sp is Dense.
+	if d, ok := metric.AsDense(sp); ok {
+		return balanceTours(d, sol, maxMoves)
+	}
+	return balanceTours(sp, sol, maxMoves)
+}
+
+func balanceTours[S metric.Space](sp S, sol Solution, maxMoves int) Solution {
 	out := Solution{ForestWeight: sol.ForestWeight}
 	out.Tours = make([]Tour, len(sol.Tours))
 	for i, t := range sol.Tours {
@@ -80,7 +89,7 @@ func BalanceTours(sp metric.Space, sol Solution, maxMoves int) Solution {
 
 // removeStop returns tour t without its si-th stop, lightly re-optimized
 // with 2-opt.
-func removeStop(sp metric.Space, t Tour, si int) Tour {
+func removeStop[S metric.Space](sp S, t Tour, si int) Tour {
 	stops := make([]int, 0, len(t.Stops)-1)
 	stops = append(stops, t.Stops[:si]...)
 	stops = append(stops, t.Stops[si+1:]...)
@@ -96,7 +105,7 @@ func removeStop(sp metric.Space, t Tour, si int) Tour {
 
 // insertCheapest inserts sensor s into tour t at the position that
 // increases its length least.
-func insertCheapest(sp metric.Space, t Tour, s int) Tour {
+func insertCheapest[S metric.Space](sp S, t Tour, s int) Tour {
 	verts := t.Vertices()
 	bestPos, bestDelta := len(verts), math.Inf(1)
 	for i := 0; i < len(verts); i++ {

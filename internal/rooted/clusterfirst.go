@@ -50,7 +50,10 @@ func clusterFirst(sp metric.Space, depots, sensors []int, opt Options) Solution 
 		group := groups[d]
 		if len(group) > 0 {
 			local := append([]int{d}, group...)
-			sub := metric.NewSub(sp, local)
+			// The local route is refined with O(n^2)-per-sweep search,
+			// so flatten the subspace once instead of double-indirecting
+			// through the parent on every distance query.
+			sub := metric.NewSub(sp, local).Flatten()
 			tour := tsp.NearestNeighbor(sub, 0)
 			rounds := opt.refineRounds()
 			tour, _ = tsp.TwoOpt(sub, tour, rounds)

@@ -1,0 +1,57 @@
+package rooted
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/metric"
+)
+
+// TestDenseAndEuclideanPathsAgree pins the bit-identical contract of the
+// flat-kernel fast paths: every rooted construction must produce exactly
+// the same structures whether it runs on the interface path (Euclidean)
+// or on the devirtualized Dense path, because the sweep feeds algorithms
+// a materialized matrix while older callers may not.
+func TestDenseAndEuclideanPathsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + r.Intn(40)
+		q := 1 + r.Intn(4)
+		eu := randomSpace(r, n)
+		dense := metric.Materialize(eu)
+		depots, sensors := splitIndices(r, n, q)
+
+		fe := MSF(eu, depots, sensors)
+		fd := MSF(dense, depots, sensors)
+		if !reflect.DeepEqual(fe.Parent, fd.Parent) {
+			t.Fatalf("trial %d: MSF parents differ between Euclidean and Dense", trial)
+		}
+		if fe.Weight != fd.Weight {
+			t.Fatalf("trial %d: MSF weight %v != %v", trial, fe.Weight, fd.Weight)
+		}
+
+		for _, opt := range []Options{{}, {Refine: true}} {
+			se := Tours(eu, depots, sensors, opt)
+			sd := Tours(dense, depots, sensors, opt)
+			if !reflect.DeepEqual(se, sd) {
+				t.Fatalf("trial %d opt %+v: tours differ between Euclidean and Dense", trial, opt)
+			}
+			if err := sd.Validate(dense, depots, sensors); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+
+		// Tour splitting walks the same fast path; check it too.
+		sol := Tours(dense, depots, sensors, Options{})
+		budget := sol.Cost()/float64(2*q) + 1
+		spe, err1 := SplitTours(eu, Tours(eu, depots, sensors, Options{}), budget)
+		spd, err2 := SplitTours(dense, sol, budget)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: split errors diverge: %v vs %v", trial, err1, err2)
+		}
+		if err1 == nil && !reflect.DeepEqual(spe, spd) {
+			t.Fatalf("trial %d: split tours differ between Euclidean and Dense", trial)
+		}
+	}
+}

@@ -40,7 +40,9 @@ func Exact(sp metric.Space, depots, sensors []int) (Solution, error) {
 		if len(group) == 1 {
 			return 0, nil, nil
 		}
-		sub := metric.NewSub(sp, group)
+		// Held–Karp queries O(2^n·n^2) distances per group; flatten the
+		// subspace once so those hit a flat array, not Sub indirection.
+		sub := metric.NewSub(sp, group).Flatten()
 		tour, c, err := tsp.HeldKarp(sub, 0)
 		if err != nil {
 			return 0, nil, err

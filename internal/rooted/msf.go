@@ -42,14 +42,42 @@ type Forest struct {
 // (depot first). It returns just {depot} for an empty tree and nil if
 // depot is not a root of f.
 func (f Forest) TreeOf(depot int) []int {
-	if depot < 0 || depot >= len(f.Parent) || f.Parent[depot] != -1 {
-		return nil
+	off, kids := f.childrenCSR()
+	return f.treeFrom(off, kids, depot)
+}
+
+// childrenCSR builds the forest's child lists as one flat CSR pair:
+// vertex v's children are kids[off[v]:off[v+1]], in increasing index
+// order — the same order per-vertex appends over Parent would produce.
+// ToursFromForest builds it once and walks every depot's tree from it
+// instead of rebuilding a per-depot map.
+func (f Forest) childrenCSR() (off, kids []int) {
+	n := len(f.Parent)
+	off = make([]int, n+1)
+	for _, p := range f.Parent {
+		if p >= 0 {
+			off[p+1]++
+		}
 	}
-	children := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	kids = make([]int, off[n])
+	cur := make([]int, n)
+	copy(cur, off[:n])
 	for v, p := range f.Parent {
 		if p >= 0 {
-			children[p] = append(children[p], v)
+			kids[cur[p]] = v
+			cur[p]++
 		}
+	}
+	return off, kids
+}
+
+// treeFrom is TreeOf over a prebuilt childrenCSR.
+func (f Forest) treeFrom(off, kids []int, depot int) []int {
+	if depot < 0 || depot >= len(f.Parent) || f.Parent[depot] != -1 {
+		return nil
 	}
 	var out []int
 	stack := []int{depot}
@@ -57,10 +85,9 @@ func (f Forest) TreeOf(depot int) []int {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		out = append(out, v)
-		kids := children[v]
 		// Push in reverse so smaller-indexed children come out first;
 		// deterministic order keeps golden tests stable.
-		for i := len(kids) - 1; i >= 0; i-- {
+		for i := off[v+1] - 1; i >= off[v]; i-- {
 			stack = append(stack, kids[i])
 		}
 	}
@@ -123,7 +150,7 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 	if len(depots) == 0 {
 		panic("rooted: MSF requires at least one depot")
 	}
-	seen := make(map[int]bool, len(depots)+len(sensors))
+	seen := make([]bool, sp.Len())
 	for _, d := range depots {
 		if seen[d] {
 			panic(fmt.Sprintf("rooted: duplicate depot %d", d))
@@ -154,17 +181,32 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 	// realizes it so un-contraction is a table lookup.
 	nearest := make([]int, len(sensors))
 	toNearest := make([]float64, len(sensors))
+	dense, isDense := metric.AsDense(sp)
 	for i, s := range sensors {
 		best, bd := -1, math.Inf(1)
-		for _, d := range depots {
-			if w := sp.Dist(s, d); w < bd {
-				best, bd = d, w
+		if isDense {
+			row := dense.Row(s)
+			for _, d := range depots {
+				if w := row[d]; w < bd {
+					best, bd = d, w
+				}
+			}
+		} else {
+			for _, d := range depots {
+				if w := sp.Dist(s, d); w < bd {
+					best, bd = d, w
+				}
 			}
 		}
 		nearest[i], toNearest[i] = best, bd
 	}
-	c := contracted{sp: sp, sensors: sensors, toRoot: toNearest}
-	mst := graph.PrimMST(c, len(sensors)) // root Prim at the super-root
+	var mst graph.Tree
+	if isDense {
+		mst = primContractedDense(dense, sensors, toNearest)
+	} else {
+		c := contracted{sp: sp, sensors: sensors, toRoot: toNearest}
+		mst = graph.PrimMST(c, len(sensors)) // root Prim at the super-root
+	}
 
 	for i, s := range sensors {
 		p := mst.Parent[i]
@@ -180,6 +222,58 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 		}
 	}
 	return Forest{Parent: parent, Depots: append([]int(nil), depots...), Weight: mst.Weight}
+}
+
+// primContractedDense is graph.PrimMST specialized to the depot-
+// contracted space over a Dense parent: vertices 0..m-1 are sensors,
+// vertex m is the super-root at toRoot distances. The fringe scan and
+// tie-breaking replicate graph.PrimMST exactly — same iteration order,
+// same strict comparisons — so the returned tree is bit-identical to
+// the interface path; only the per-distance dispatch is gone.
+func primContractedDense(d metric.Dense, sensors []int, toRoot []float64) graph.Tree {
+	m := len(sensors)
+	n := m + 1
+	parent := make([]int, n)
+	best := make([]float64, n)
+	inTree := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+		best[i] = math.Inf(1)
+	}
+	best[m] = 0 // the super-root is the Prim root and enters first
+	var total float64
+	for iter := 0; iter < n; iter++ {
+		u, bw := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !inTree[v] && best[v] < bw {
+				u, bw = v, best[v]
+			}
+		}
+		if u == -1 {
+			panic("rooted: contracted Prim on disconnected space")
+		}
+		inTree[u] = true
+		total += bw
+		if u == m {
+			for v := 0; v < m; v++ {
+				if !inTree[v] && toRoot[v] < best[v] {
+					best[v] = toRoot[v]
+					parent[v] = m
+				}
+			}
+			continue
+		}
+		row := d.Row(sensors[u])
+		for v := 0; v < m; v++ {
+			if !inTree[v] {
+				if w := row[sensors[v]]; w < best[v] {
+					best[v] = w
+					parent[v] = u
+				}
+			}
+		}
+	}
+	return graph.Tree{Parent: parent, Weight: total}
 }
 
 // contracted adapts (sensors ∪ {super-root}) to metric.Space.

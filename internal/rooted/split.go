@@ -26,6 +26,15 @@ func SplitTours(sp metric.Space, sol Solution, budget float64) (Solution, error)
 	if budget <= 0 {
 		return Solution{}, fmt.Errorf("rooted: budget must be positive, got %g", budget)
 	}
+	// Type-switch once; the splitting walk then runs devirtualized on
+	// Dense spaces (identical arithmetic, hence identical pieces).
+	if d, ok := metric.AsDense(sp); ok {
+		return splitTours(d, sol, budget)
+	}
+	return splitTours(sp, sol, budget)
+}
+
+func splitTours[S metric.Space](sp S, sol Solution, budget float64) (Solution, error) {
 	out := Solution{ForestWeight: sol.ForestWeight}
 	for _, tour := range sol.Tours {
 		pieces, err := splitOne(sp, tour, budget)
@@ -37,7 +46,7 @@ func SplitTours(sp metric.Space, sol Solution, budget float64) (Solution, error)
 	return out, nil
 }
 
-func splitOne(sp metric.Space, t Tour, budget float64) ([]Tour, error) {
+func splitOne[S metric.Space](sp S, t Tour, budget float64) ([]Tour, error) {
 	if t.Cost <= budget || len(t.Stops) == 0 {
 		return []Tour{t}, nil
 	}

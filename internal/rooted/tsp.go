@@ -87,8 +87,9 @@ func Tours(sp metric.Space, depots, sensors []int, opt Options) Solution {
 // so the variable-cycle heuristic can re-tour a patched forest.
 func ToursFromForest(sp metric.Space, f Forest, opt Options) Solution {
 	sol := Solution{ForestWeight: f.Weight}
+	off, kids := f.childrenCSR()
 	for _, d := range f.Depots {
-		members := f.TreeOf(d)
+		members := f.treeFrom(off, kids, d)
 		t := Tour{Depot: d}
 		if len(members) > 1 {
 			t.Stops = tourFromTree(sp, f.Parent, members, d, opt)
@@ -114,10 +115,12 @@ func tourFromTree(sp metric.Space, parent []int, members []int, depot int, opt O
 		sub[depot] = -1
 		tour, _ = tsp.ChristofidesTour(sp, graph.Tree{Parent: sub}, depot)
 	} else {
-		var doubled []graph.Edge
+		// EulerCircuit never reads edge weights, so the doubled edges
+		// carry endpoints only — no Dist calls here.
+		doubled := make([]graph.Edge, 0, 2*(len(members)-1))
 		for _, v := range members {
 			if p := parent[v]; p >= 0 {
-				e := graph.Edge{U: v, V: p, W: sp.Dist(v, p)}
+				e := graph.Edge{U: v, V: p}
 				doubled = append(doubled, e, e)
 			}
 		}

@@ -37,6 +37,11 @@ type Config struct {
 	// remaining chargers only. At least one depot must remain active
 	// at every instant.
 	Outages []Outage
+	// Space, if non-nil, is a prebuilt metric over the network's points
+	// (sensors then depots, as net.Space() orders them). Callers that
+	// run several algorithms on one topology build the dense matrix
+	// once and share it read-only; nil rebuilds it from the network.
+	Space metric.Space
 }
 
 // Outage takes the charger at depot index Depot (0-based) offline over
@@ -164,9 +169,17 @@ func Run(net *wsn.Network, model energy.Model, policy Policy, cfg Config) (Resul
 	if err := validateOutages(cfg.Outages, net.Q()); err != nil {
 		return Result{}, err
 	}
+	space := cfg.Space
+	if space == nil {
+		space = net.Space()
+	} else if space.Len() != net.Space().Len() {
+		return Result{}, fmt.Errorf("sim: Config.Space has %d points, network has %d", space.Len(), net.Space().Len())
+	}
 	env := &Env{
-		Net:      net,
-		Space:    metric.Materialize(net.Space()),
+		Net: net,
+		// Materialize short-circuits when the caller already passed a
+		// Dense, so the shared-space path does no O(n^2) copying here.
+		Space: metric.Materialize(space),
 		Depots:   net.DepotIndices(),
 		Model:    model,
 		T:        cfg.T,

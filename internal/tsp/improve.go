@@ -11,7 +11,18 @@ import "repro/internal/metric"
 //
 // Complexity is O(n^2) per sweep. eps guards against endless loops on
 // floating-point noise.
+//
+// When sp is a metric.Dense the sweep runs a devirtualized instantiation
+// whose distance lookups inline to flat-array indexing; the move
+// sequence (and hence the result) is identical on both paths.
 func TwoOpt(sp metric.Space, tour []int, maxRounds int) ([]int, int) {
+	if d, ok := metric.AsDense(sp); ok {
+		return twoOpt(d, tour, maxRounds)
+	}
+	return twoOpt(sp, tour, maxRounds)
+}
+
+func twoOpt[S metric.Space](sp S, tour []int, maxRounds int) ([]int, int) {
 	const eps = 1e-9
 	n := len(tour)
 	moves := 0
@@ -52,7 +63,15 @@ func TwoOpt(sp metric.Space, tour []int, maxRounds int) ([]int, int) {
 // consecutive vertices to a better position, preserving tour[0]. It
 // complements TwoOpt: segment reversal cannot express single-vertex
 // relocation cheaply. Returns the tour and the number of moves applied.
+// Like TwoOpt it dispatches to a devirtualized sweep on metric.Dense.
 func OrOpt(sp metric.Space, tour []int, maxRounds int) ([]int, int) {
+	if d, ok := metric.AsDense(sp); ok {
+		return orOpt(d, tour, maxRounds)
+	}
+	return orOpt(sp, tour, maxRounds)
+}
+
+func orOpt[S metric.Space](sp S, tour []int, maxRounds int) ([]int, int) {
 	const eps = 1e-9
 	n := len(tour)
 	moves := 0

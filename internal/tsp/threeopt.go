@@ -12,7 +12,15 @@ import "repro/internal/metric"
 // convergence); each sweep is O(n^3), so this is the deep, opt-in
 // refiner — the routine Refine option uses 2-opt/Or-opt only.
 // It returns the tour and the number of moves applied.
+// Like TwoOpt it dispatches to a devirtualized sweep on metric.Dense.
 func SegmentExchange(sp metric.Space, tour []int, maxRounds int) ([]int, int) {
+	if d, ok := metric.AsDense(sp); ok {
+		return segmentExchange(d, tour, maxRounds)
+	}
+	return segmentExchange(sp, tour, maxRounds)
+}
+
+func segmentExchange[S metric.Space](sp S, tour []int, maxRounds int) ([]int, int) {
 	const eps = 1e-9
 	n := len(tour)
 	moves := 0

@@ -24,6 +24,13 @@ import (
 // Cost returns the length of the closed tour (the implicit closing edge
 // included). A tour with fewer than two vertices has cost 0.
 func Cost(sp metric.Space, tour []int) float64 {
+	if d, ok := metric.AsDense(sp); ok {
+		return cost(d, tour)
+	}
+	return cost(sp, tour)
+}
+
+func cost[S metric.Space](sp S, tour []int) float64 {
 	if len(tour) < 2 {
 		return 0
 	}
@@ -104,6 +111,13 @@ func MSTTour(sp metric.Space, root int) []int {
 // strong practical constructor; the ablation benches compare it against
 // the paper's double-tree construction.
 func NearestNeighbor(sp metric.Space, start int) []int {
+	if d, ok := metric.AsDense(sp); ok {
+		return nearestNeighbor(d, start)
+	}
+	return nearestNeighbor(sp, start)
+}
+
+func nearestNeighbor[S metric.Space](sp S, start int) []int {
 	n := sp.Len()
 	if n == 0 {
 		return nil
@@ -135,6 +149,13 @@ func NearestNeighbor(sp metric.Space, start int) []int {
 // the least. O(n^2) with incremental bookkeeping. Returns a tour starting
 // at start.
 func CheapestInsertion(sp metric.Space, start int) []int {
+	if d, ok := metric.AsDense(sp); ok {
+		return cheapestInsertion(d, start)
+	}
+	return cheapestInsertion(sp, start)
+}
+
+func cheapestInsertion[S metric.Space](sp S, start int) []int {
 	n := sp.Len()
 	if n == 0 {
 		return nil

@@ -1,0 +1,45 @@
+#!/bin/sh
+# bench.sh — capture or check the figure/ablation benchmark baseline.
+#
+#   scripts/bench.sh capture <label>   run the acceptance benchmarks and
+#                                      write BENCH_<label>.json
+#   scripts/bench.sh check [baseline]  capture a fresh run and compare it
+#                                      against the committed baseline
+#                                      (default BENCH_seed.json); exits 1
+#                                      on any >15% ns/op regression
+#
+# Extra stability knobs: BENCHTIME (default 3x), COUNT (default 3).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+COUNT="${COUNT:-3}"
+PATTERN='Fig|Ablation'
+
+capture() {
+    out="$1"
+    go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" \
+        -count "$COUNT" -benchmem -timeout 1800s . |
+        go run ./cmd/bench -parse -o "$out"
+    echo "wrote $out" >&2
+}
+
+case "${1:-}" in
+capture)
+    [ $# -eq 2 ] || { echo "usage: $0 capture <label>" >&2; exit 2; }
+    capture "BENCH_$2.json"
+    ;;
+check)
+    base="${2:-BENCH_seed.json}"
+    [ -f "$base" ] || { echo "baseline $base not found" >&2; exit 2; }
+    tmp="$(mktemp)"
+    trap 'rm -f "$tmp"' EXIT
+    capture "$tmp"
+    go run ./cmd/bench -compare "$base" "$tmp"
+    ;;
+*)
+    echo "usage: $0 capture <label> | check [baseline.json]" >&2
+    exit 2
+    ;;
+esac
