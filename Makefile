@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-smoke bench-check check
+.PHONY: build vet test race bench-smoke bench-check profile check
 
 build:
 	$(GO) build ./...
@@ -24,5 +24,14 @@ bench-smoke:
 # Full regression check against the committed baseline (slow).
 bench-check:
 	scripts/bench.sh check
+
+# Profile one figure sweep (default fig5; override with PROFILE_FIG=6).
+# Inspect with `go tool pprof profiles/cpu.out` (or mem.out).
+PROFILE_FIG ?= 5
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/bench -profile $(PROFILE_FIG) \
+		-cpuprofile profiles/cpu.out -memprofile profiles/mem.out
+	@echo "profiles written; try: go tool pprof -top profiles/cpu.out"
 
 check: build vet race bench-smoke

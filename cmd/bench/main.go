@@ -10,7 +10,12 @@
 //
 //	go run ./cmd/bench -compare BENCH_seed.json BENCH_new.json
 //
-// scripts/bench.sh wraps both steps.
+// Run one figure sweep under the profiler (make profile wraps this):
+//
+//	go run ./cmd/bench -profile fig5 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+//
+// scripts/bench.sh wraps the capture and compare steps.
 package main
 
 import (
@@ -18,22 +23,37 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
 
 	"repro/internal/benchfmt"
+	"repro/internal/experiment"
 )
 
 func main() {
 	var (
-		parse     = flag.Bool("parse", false, "parse raw go test -bench output from stdin (or -i) into a JSON baseline")
-		in        = flag.String("i", "", "input file for -parse (default stdin)")
-		out       = flag.String("o", "", "output file for -parse (default stdout)")
-		compare   = flag.Bool("compare", false, "compare two baselines: -compare BASE.json CURRENT.json")
-		threshold = flag.Float64("threshold", 0.15, "fractional ns/op growth that counts as a regression")
+		parse      = flag.Bool("parse", false, "parse raw go test -bench output from stdin (or -i) into a JSON baseline")
+		in         = flag.String("i", "", "input file for -parse (default stdin)")
+		out        = flag.String("o", "", "output file for -parse (default stdout)")
+		compare    = flag.Bool("compare", false, "compare two baselines: -compare BASE.json CURRENT.json")
+		threshold  = flag.Float64("threshold", 0.15, "fractional ns/op growth that counts as a regression")
+		profile    = flag.String("profile", "", "run figure <id> (e.g. 5 or fig5) under the profiler")
+		cpuprofile = flag.String("cpuprofile", "", "with -profile: write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "with -profile: write a heap profile to this file")
+		reps       = flag.Int("reps", 3, "with -profile: repetitions of the sweep (more samples)")
+		topologies = flag.Int("topologies", 10, "with -profile: networks per data point")
 	)
 	flag.Parse()
 	switch {
 	case *parse:
 		if err := runParse(*in, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
+	case *profile != "":
+		if err := runProfile(*profile, *cpuprofile, *memprofile, *reps, *topologies); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(2)
 		}
@@ -73,6 +93,9 @@ func runParse(in, out string) error {
 	if len(parsed.Results) == 0 {
 		return fmt.Errorf("no benchmark lines in input")
 	}
+	// go test never prints the toolchain version; stamp it here so the
+	// committed baseline records its capture environment.
+	parsed.Go = runtime.Version()
 	var w io.Writer = os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
@@ -107,6 +130,58 @@ func runCompare(basePath, curPath string, threshold float64) (bool, error) {
 			d.Name, d.BaseNs, d.CurNs, d.Ratio, status)
 	}
 	return benchfmt.AnyRegression(deltas), nil
+}
+
+// runProfile runs one figure sweep reps times under the requested
+// profilers. Workers is pinned to 1 so CPU samples land in the
+// planning/refinement code instead of channel scheduling, and the
+// sweep's own per-worker scratch arena is exercised the way a
+// steady-state capture would see it.
+func runProfile(fig, cpuPath, memPath string, reps, topologies int) error {
+	id := strings.TrimPrefix(fig, "fig")
+	if reps < 1 {
+		reps = 1
+	}
+	cfg := experiment.Config{Topologies: topologies, Workers: 1, Seed: 1, T: 200}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		series, err := experiment.Figure(id, cfg)
+		if err != nil {
+			return err
+		}
+		if r == 0 {
+			for _, p := range series.Points {
+				for _, algo := range series.Algorithms {
+					fmt.Fprintf(os.Stderr, "  x=%-8v %-24s total %7.1fms  plan %7.1fms  refine %7.1fms\n",
+						p.X, algo, p.Millis[algo], p.PlanMillis[algo], p.RefineMillis[algo])
+				}
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bench: profiled fig%s x%d in %s\n", id, reps, time.Since(start).Round(time.Millisecond))
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // flush recently freed objects out of the heap profile
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func readBaseline(path string) (benchfmt.File, error) {

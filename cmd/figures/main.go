@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -102,7 +103,12 @@ func main() {
 		}
 		series, err := experiment.Figure(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			var ce *experiment.CellError
+			if errors.As(err, &ce) {
+				fmt.Fprintf(os.Stderr, "figures: %s: failed at cell %s: %v\n", id, ce.Label(), ce.Err)
+			} else {
+				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			}
 			os.Exit(1)
 		}
 		if err := plot.WriteTable(os.Stdout, series); err != nil {

@@ -10,15 +10,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 )
 
 // Result is one benchmark's aggregated measurement. When a raw capture
-// repeats a benchmark (-count > 1), Runs counts the repetitions and the
-// per-op fields keep the minimum observed ns/op run — the run least
-// disturbed by scheduling noise, the standard choice for baselines.
+// repeats a benchmark (-count > 1), Runs counts the repetitions and
+// each per-op field keeps its own median across the runs (mean of the
+// middle two when Runs is even) — unlike a single sample or the
+// minimum, the median is robust against both one noisy-slow and one
+// lucky-fast run, so the regression gate stops firing on scheduler
+// noise. Iterations is taken from the ns/op-median run.
 type Result struct {
 	Name        string  `json:"name"`
 	Runs        int     `json:"runs"`
@@ -30,10 +34,14 @@ type Result struct {
 
 // File is the JSON baseline: capture environment plus results.
 type File struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Go is the toolchain that captured the baseline
+	// (runtime.Version()); go test does not print it, so cmd/bench
+	// fills it in at capture time.
+	Go      string   `json:"go,omitempty"`
 	Results []Result `json:"benchmarks"`
 }
 
@@ -48,11 +56,7 @@ type File struct {
 // output) is harmless.
 func Parse(r io.Reader) (File, error) {
 	var f File
-	type acc struct {
-		Result
-		seen bool
-	}
-	byName := map[string]*acc{}
+	byName := map[string][]Result{}
 	var order []string
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -79,27 +83,61 @@ func Parse(r io.Reader) (File, error) {
 		if err != nil {
 			return File{}, err
 		}
-		a, ok := byName[res.Name]
-		if !ok {
-			a = &acc{}
-			byName[res.Name] = a
+		if _, ok := byName[res.Name]; !ok {
 			order = append(order, res.Name)
 		}
-		a.Runs++
-		if !a.seen || res.NsPerOp < a.NsPerOp {
-			runs := a.Runs
-			a.Result = res
-			a.Runs = runs
-			a.seen = true
-		}
+		byName[res.Name] = append(byName[res.Name], res)
 	}
 	if err := sc.Err(); err != nil {
 		return File{}, err
 	}
 	for _, name := range order {
-		f.Results = append(f.Results, byName[name].Result)
+		f.Results = append(f.Results, aggregate(byName[name]))
 	}
 	return f, nil
+}
+
+// aggregate folds one benchmark's repeated runs into a single Result:
+// field-wise medians, with Iterations taken from the ns/op-median run.
+func aggregate(samples []Result) Result {
+	res := samples[0]
+	res.Runs = len(samples)
+	if len(samples) == 1 {
+		return res
+	}
+	ns := make([]float64, len(samples))
+	bytes := make([]float64, len(samples))
+	allocs := make([]float64, len(samples))
+	for i, s := range samples {
+		ns[i] = s.NsPerOp
+		bytes[i] = s.BytesPerOp
+		allocs[i] = s.AllocsPerOp
+	}
+	sort.Float64s(ns)
+	res.NsPerOp = median(ns)
+	res.BytesPerOp = median(bytes)
+	res.AllocsPerOp = median(allocs)
+	// The run whose ns/op sits closest to the median keeps its
+	// iteration count, so Iterations stays representative.
+	mid := samples[0]
+	for _, s := range samples[1:] {
+		if math.Abs(s.NsPerOp-res.NsPerOp) < math.Abs(mid.NsPerOp-res.NsPerOp) {
+			mid = s
+		}
+	}
+	res.Iterations = mid.Iterations
+	return res
+}
+
+// median returns the middle value of xs (mean of the two middle values
+// when len(xs) is even). xs may arrive unsorted; it is sorted in place.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
 // parseLine parses one benchmark result line.

@@ -11,7 +11,8 @@ goarch: amd64
 pkg: repro
 cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
 BenchmarkFig1aLinearN             	       3	  10122907 ns/op	11045362 B/op	   38204 allocs/op
-BenchmarkFig1aLinearN             	       3	   8546871 ns/op	11045341 B/op	   38204 allocs/op
+BenchmarkFig1aLinearN             	       4	   8546871 ns/op	11045341 B/op	   38204 allocs/op
+BenchmarkFig1aLinearN             	       3	   9200000 ns/op	11045350 B/op	   38204 allocs/op
 BenchmarkFig1bRandomN-8           	       3	  11301038 ns/op	15530090 B/op	   58960 allocs/op
 PASS
 ok  	repro	25.1s
@@ -29,18 +30,49 @@ func TestParse(t *testing.T) {
 		t.Fatalf("got %d results, want 2", len(f.Results))
 	}
 	a := f.Results[0]
-	if a.Name != "BenchmarkFig1aLinearN" || a.Runs != 2 {
+	if a.Name != "BenchmarkFig1aLinearN" || a.Runs != 3 {
 		t.Errorf("first result = %+v", a)
 	}
-	if a.NsPerOp != 8546871 {
-		t.Errorf("aggregated ns/op = %g, want the min 8546871", a.NsPerOp)
+	if a.NsPerOp != 9200000 {
+		t.Errorf("aggregated ns/op = %g, want the median 9200000", a.NsPerOp)
 	}
-	if a.AllocsPerOp != 38204 || a.BytesPerOp != 11045341 {
+	// Iterations follows the ns/op-median run.
+	if a.Iterations != 3 {
+		t.Errorf("iterations = %d, want 3 (from the median run)", a.Iterations)
+	}
+	if a.AllocsPerOp != 38204 || a.BytesPerOp != 11045350 {
 		t.Errorf("mem stats = %g B/op %g allocs/op", a.BytesPerOp, a.AllocsPerOp)
 	}
 	// The -8 GOMAXPROCS suffix must be stripped so baselines pair up.
 	if b := f.Results[1]; b.Name != "BenchmarkFig1bRandomN" {
 		t.Errorf("suffix not stripped: %q", b.Name)
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	// With an even run count the median is the mean of the two middle
+	// values, computed field-wise.
+	raw := `BenchmarkX 1 100 ns/op 10 B/op 1 allocs/op
+BenchmarkX 1 400 ns/op 40 B/op 1 allocs/op
+BenchmarkX 1 200 ns/op 80 B/op 3 allocs/op
+BenchmarkX 1 300 ns/op 20 B/op 5 allocs/op
+`
+	f, err := Parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.Results[0]
+	if r.Runs != 4 {
+		t.Errorf("runs = %d, want 4", r.Runs)
+	}
+	if r.NsPerOp != 250 {
+		t.Errorf("ns/op = %g, want 250", r.NsPerOp)
+	}
+	if r.BytesPerOp != 30 {
+		t.Errorf("B/op = %g, want 30", r.BytesPerOp)
+	}
+	if r.AllocsPerOp != 2 {
+		t.Errorf("allocs/op = %g, want 2", r.AllocsPerOp)
 	}
 }
 
@@ -58,6 +90,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	f.Go = "go1.24.0"
 	var buf bytes.Buffer
 	if err := Write(&buf, f); err != nil {
 		t.Fatal(err)
@@ -68,6 +101,9 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 	if len(got.Results) != len(f.Results) || got.Results[0] != f.Results[0] {
 		t.Errorf("round trip changed results: %+v != %+v", got.Results, f.Results)
+	}
+	if got.Go != "go1.24.0" {
+		t.Errorf("Go version lost in round trip: %q", got.Go)
 	}
 }
 

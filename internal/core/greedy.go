@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/rooted"
 	"repro/internal/sim"
@@ -23,6 +24,9 @@ type Greedy struct {
 	Threshold float64
 	// Rooted configures the q-rooted TSP rounds.
 	Rooted rooted.Options
+	// PlanNs accumulates wall-clock nanoseconds spent building rounds
+	// (diagnostic, non-deterministic; see core.Var.PlanNs).
+	PlanNs int64
 
 	threshold float64
 }
@@ -61,7 +65,9 @@ func (g *Greedy) Decide(env *sim.Env, t float64) ([]rooted.Tour, error) {
 	if len(need) == 0 {
 		return nil, nil
 	}
+	t0 := time.Now()
 	sol := rooted.Tours(env.Space, env.ActiveDepots(), need, g.Rooted)
+	g.PlanNs += int64(time.Since(t0))
 	return sol.Tours, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/energy"
 	"repro/internal/geom"
@@ -61,12 +62,22 @@ type Var struct {
 	nextCharge []float64
 	// Replans counts plan recomputations (diagnostic).
 	Replans int
+	// PlanNs accumulates wall-clock nanoseconds spent planning — replans
+	// and round-solution construction — as opposed to simulating
+	// (diagnostic, non-deterministic; the harness surfaces it as the
+	// per-phase Millis breakdown).
+	PlanNs int64
 	// UpdatesReceived counts cycle reports the base station received
 	// (diagnostic; only meaningful with UpdateThreshold > 0).
 	UpdatesReceived int
 
 	reported []float64 // last cycle each sensor reported to the BS
 	memo     tourMemo  // cross-plan (depots, members, options) tour cache
+
+	// cyclesBuf and livesBuf back replan's per-epoch snapshots; replans
+	// recur throughout a run, so reusing them keeps the planner
+	// allocation-free outside of genuinely new plan structures.
+	cyclesBuf, livesBuf []float64
 }
 
 // varPlan is one planning epoch: a MinTotalDistance schedule anchored at
@@ -142,7 +153,9 @@ func (v *Var) Decide(env *sim.Env, t float64) ([]rooted.Tour, error) {
 	if j < 1 || math.Abs(p.t0+float64(j)*p.tau1-t) > eps {
 		return nil, nil // not a dispatch time under the current plan
 	}
+	t0 := time.Now()
 	sol, err := v.roundSolution(env, j)
+	v.PlanNs += int64(time.Since(t0))
 	if err != nil {
 		return nil, err
 	}
@@ -198,10 +211,16 @@ func (v *Var) triggered(env *sim.Env) bool {
 // replan rebuilds the plan anchored at time t and returns the emergency
 // round C'_0 to dispatch immediately (nil if empty).
 func (v *Var) replan(env *sim.Env, t float64) ([]rooted.Tour, error) {
+	t0 := time.Now()
+	defer func() { v.PlanNs += int64(time.Since(t0)) }()
 	v.Replans++
 	n := env.Net.N()
-	cycles := make([]float64, n)
-	lives := make([]float64, n)
+	if cap(v.cyclesBuf) < n {
+		v.cyclesBuf = make([]float64, n)
+		v.livesBuf = make([]float64, n)
+	}
+	cycles := v.cyclesBuf[:n]
+	lives := v.livesBuf[:n]
 	minCycle := math.Inf(1)
 	for i := 0; i < n; i++ {
 		cycles[i] = v.reported[i]

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -216,16 +217,81 @@ func TestSweepValidation(t *testing.T) {
 }
 
 func TestSweepPropagatesErrors(t *testing.T) {
+	var mu sync.Mutex
+	lastDone := 0
 	sw := Sweep{
 		Name: "err", XLabel: "n", Xs: []float64{10},
 		Algorithms: []string{"bogus"},
-		Topologies: 2, Workers: 2, Seed: 1,
+		Topologies: 6, Workers: 2, Seed: 1,
 		Make: func(x float64, topo int) Params {
 			return tinyParams()
 		},
+		Progress: func(done, total int) {
+			mu.Lock()
+			if done > lastDone {
+				lastDone = done
+			}
+			mu.Unlock()
+		},
 	}
-	if _, err := sw.Run(); err == nil {
-		t.Error("bogus algorithm error swallowed")
+	_, err := sw.Run()
+	if err == nil {
+		t.Fatal("bogus algorithm error swallowed")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not a *CellError: %v", err, err)
+	}
+	if ce.Sweep != "err" || ce.Algo != "bogus" || ce.X != 10 {
+		t.Errorf("CellError identifies %q, want sweep err / algo bogus / x 10", ce.Label())
+	}
+	if !strings.Contains(err.Error(), ce.Label()) {
+		t.Errorf("error text %q does not carry the cell label %q", err, ce.Label())
+	}
+	// Drained cells still count toward progress, so a consumer's bar
+	// completes even when the sweep fails.
+	if lastDone != 6 {
+		t.Errorf("progress reached %d of 6 cells on the error path", lastDone)
+	}
+}
+
+func TestPrepareIntoReusesScratch(t *testing.T) {
+	var ws Scratch
+	p := tinyParams()
+	want, err := RunOne(AlgoMTDRefined, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		pr, err := PrepareInto(p, &ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pr.Run(AlgoMTDRefined, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != want.Cost || got.Dispatches != want.Dispatches {
+			t.Fatalf("trial %d: scratch-prepared run diverged: cost %g want %g",
+				trial, got.Cost, want.Cost)
+		}
+	}
+	// Interleave a different cell size to exercise arena regrowth.
+	big := p
+	big.N = 80
+	if _, err := PrepareInto(big, &ws); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := PrepareInto(p, &ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pr.Run(AlgoMTDRefined, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost {
+		t.Fatalf("after regrowth: cost %g, want %g", got.Cost, want.Cost)
 	}
 }
 

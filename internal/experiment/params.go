@@ -20,6 +20,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/rooted"
 	"repro/internal/sim"
+	"repro/internal/tsp"
 	"repro/internal/wsn"
 )
 
@@ -114,6 +115,13 @@ type Outcome struct {
 	// Unlike every other field it is not deterministic; the
 	// scalability ablation averages it over topologies.
 	Millis float64
+	// PlanMillis is the share of Millis spent planning (tour
+	// construction and re-planning, as opposed to simulating), and
+	// RefineMillis the share of PlanMillis spent in local-search
+	// refinement. Non-deterministic like Millis; together they give the
+	// plan/refine/simulate phase breakdown of the scalability study.
+	PlanMillis   float64
+	RefineMillis float64
 }
 
 // RunOne executes one algorithm on one cell. The same Params always
@@ -139,19 +147,81 @@ type Prepared struct {
 	Net   *wsn.Network
 	Space metric.Dense
 
+	scratch *Scratch
+	lists   *metric.NearestLists
+
 	model     energy.Model
 	modelSeed uint64
 	modelSlot float64
 }
 
+// Scratch is a reusable per-worker arena for cell preparation and
+// refinement: the dense matrix backing, the candidate-list arrays, and
+// the local-search scratch are rebuilt in place cell after cell, so a
+// long sweep's steady-state allocation rate stays near zero. The zero
+// value is ready to use; a Scratch must not be shared between
+// concurrent PrepareInto calls or concurrently with a Prepared built
+// from it.
+type Scratch struct {
+	space metric.Dense
+	lists metric.NearestLists
+	tsp   tsp.Scratch
+}
+
 // Prepare generates the cell's topology and materializes its distance
 // matrix once, for use with Run across several algorithms.
-func Prepare(p Params) (*Prepared, error) {
+func Prepare(p Params) (*Prepared, error) { return PrepareInto(p, nil) }
+
+// PrepareInto is Prepare with an optional worker arena: the distance
+// matrix (and, lazily, the candidate lists) are built into ws's reused
+// storage. The returned Prepared is only valid until ws's next
+// PrepareInto.
+func PrepareInto(p Params, ws *Scratch) (*Prepared, error) {
 	net, err := p.Network()
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{Net: net, Space: metric.Materialize(net.Space())}, nil
+	pr := &Prepared{Net: net, scratch: ws}
+	if ws == nil {
+		pr.Space = metric.Materialize(net.Space())
+	} else {
+		metric.MaterializeInto(net.Space(), &ws.space)
+		pr.Space = ws.space
+	}
+	return pr, nil
+}
+
+// Lists returns the cell's shared k-nearest-neighbor candidate lists,
+// building them on first use. They are read-only and shared by every
+// refining algorithm of the cell; algorithms that never refine must not
+// call this (the O(n²) build would be pure overhead).
+func (pr *Prepared) Lists() *metric.NearestLists {
+	if pr.lists == nil {
+		if pr.scratch != nil {
+			pr.scratch.lists.Build(pr.Space, metric.DefaultNearest)
+			pr.lists = &pr.scratch.lists
+		} else {
+			pr.lists = pr.Space.NearestLists(metric.DefaultNearest)
+		}
+	}
+	return pr.lists
+}
+
+// tourOptions wires the cell's shared candidate lists, the worker's
+// scratch arena, and the refinement timer into a rooted.Options. The
+// lists are only attached when the options actually refine — they are
+// what uses them, and building k-NN lists for a construction-only
+// algorithm would cost O(n²) for nothing. (MethodClusterFirst builds
+// its own per-group lists over flattened subspaces; see
+// rooted/clusterfirst.go.)
+func (pr *Prepared) tourOptions(opt *rooted.Options, refineNs *int64) {
+	if opt.Refine {
+		opt.Neighbors = pr.Lists()
+	}
+	if pr.scratch != nil {
+		opt.Scratch = &pr.scratch.tsp
+	}
+	opt.RefineNs = refineNs
 }
 
 // Run executes one algorithm on the prepared cell. p must describe the
@@ -169,7 +239,7 @@ func (pr *Prepared) Run(algo string, p Params) (Outcome, error) {
 	if p.Variable {
 		out, err = runVariable(algo, p, pr, dt)
 	} else {
-		out, err = runFixed(algo, p, pr.Net, pr.Space, dt)
+		out, err = runFixed(algo, p, pr, dt)
 	}
 	if err != nil {
 		return Outcome{}, err
@@ -199,7 +269,9 @@ func (pr *Prepared) slottedModel(p Params) (energy.Model, error) {
 	return m, nil
 }
 
-func runFixed(algo string, p Params, net *wsn.Network, space metric.Dense, dt float64) (Outcome, error) {
+func runFixed(algo string, p Params, pr *Prepared, dt float64) (Outcome, error) {
+	net, space := pr.Net, pr.Space
+	var refineNs int64
 	switch algo {
 	case AlgoMTD, AlgoMTDRefined, AlgoMTDVoronoi, AlgoMTDChristo:
 		opt := core.FixedOptions{Rooted: p.Rooted, Base: p.Base, Space: space}
@@ -211,7 +283,10 @@ func runFixed(algo string, p Params, net *wsn.Network, space metric.Dense, dt fl
 		case AlgoMTDChristo:
 			opt.Rooted.Method = rooted.MethodChristofides
 		}
+		pr.tourOptions(&opt.Rooted, &refineNs)
+		t0 := time.Now()
 		plan, err := core.PlanFixed(net, p.T, opt)
+		planMillis := millis(time.Since(t0))
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -219,38 +294,56 @@ func runFixed(algo string, p Params, net *wsn.Network, space metric.Dense, dt fl
 			return Outcome{}, fmt.Errorf("experiment: infeasible %s plan: %w", algo, err)
 		}
 		return Outcome{
-			Cost:       plan.Cost(),
-			Dispatches: plan.Schedule.Dispatches(),
-			LowerBound: plan.LowerBound,
+			Cost:         plan.Cost(),
+			Dispatches:   plan.Schedule.Dispatches(),
+			LowerBound:   plan.LowerBound,
+			PlanMillis:   planMillis,
+			RefineMillis: millis(time.Duration(refineNs)),
 		}, nil
 	case AlgoGreedy:
-		res, err := sim.Run(net, energy.NewFixed(net), &core.Greedy{Rooted: p.Rooted},
+		pol := &core.Greedy{Rooted: p.Rooted}
+		pr.tourOptions(&pol.Rooted, &refineNs)
+		res, err := sim.Run(net, energy.NewFixed(net), pol,
 			sim.Config{T: p.T, Dt: dt, Space: space})
 		if err != nil {
 			return Outcome{}, err
 		}
-		return Outcome{Cost: res.Cost(), Deaths: res.Deaths, Dispatches: res.Schedule.Dispatches()}, nil
+		return Outcome{
+			Cost: res.Cost(), Deaths: res.Deaths, Dispatches: res.Schedule.Dispatches(),
+			PlanMillis:   millis(time.Duration(pol.PlanNs)),
+			RefineMillis: millis(time.Duration(refineNs)),
+		}, nil
 	case AlgoChargeAll:
-		return runChargeAll(p, net, space)
+		return runChargeAll(p, pr)
 	case AlgoQRootedApprox, AlgoQRootedRefined, AlgoQRootedExact:
-		return runQRooted(algo, net, space)
+		return runQRooted(algo, pr)
 	default:
 		return Outcome{}, fmt.Errorf("experiment: algorithm %q not valid for fixed cycles", algo)
 	}
 }
 
+// millis converts a duration to fractional milliseconds, the unit the
+// sweep aggregates.
+func millis(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
 // runQRooted evaluates a single q-rooted TSP round over all sensors —
 // the unit the approximation-ratio ablation compares against the exact
 // optimum on small instances.
-func runQRooted(algo string, net *wsn.Network, space metric.Dense) (Outcome, error) {
+func runQRooted(algo string, pr *Prepared) (Outcome, error) {
+	net, space := pr.Net, pr.Space
 	depots, sensors := net.DepotIndices(), net.SensorIndices()
 	switch algo {
-	case AlgoQRootedApprox:
-		sol := rooted.Tours(space, depots, sensors, rooted.Options{})
-		return Outcome{Cost: sol.Cost(), Dispatches: 1, LowerBound: sol.ForestWeight}, nil
-	case AlgoQRootedRefined:
-		sol := rooted.Tours(space, depots, sensors, rooted.Options{Refine: true})
-		return Outcome{Cost: sol.Cost(), Dispatches: 1, LowerBound: sol.ForestWeight}, nil
+	case AlgoQRootedApprox, AlgoQRootedRefined:
+		opt := rooted.Options{Refine: algo == AlgoQRootedRefined}
+		var refineNs int64
+		pr.tourOptions(&opt, &refineNs)
+		t0 := time.Now()
+		sol := rooted.Tours(space, depots, sensors, opt)
+		return Outcome{
+			Cost: sol.Cost(), Dispatches: 1, LowerBound: sol.ForestWeight,
+			PlanMillis:   millis(time.Since(t0)),
+			RefineMillis: millis(time.Duration(refineNs)),
+		}, nil
 	default:
 		sol, err := rooted.Exact(space, depots, sensors)
 		if err != nil {
@@ -269,11 +362,13 @@ func runVariable(algo string, p Params, pr *Prepared, dt float64) (Outcome, erro
 	if err != nil {
 		return Outcome{}, err
 	}
+	var refineNs int64
 	switch algo {
 	case AlgoMTDVar, AlgoMTDVarNoGuard:
 		pol := core.NewVar(p.Rooted)
 		pol.NoLifetimeGuard = algo == AlgoMTDVarNoGuard
 		pol.UpdateThreshold = p.UpdateThreshold
+		pr.tourOptions(&pol.Rooted, &refineNs)
 		res, err := sim.Run(net, model, pol, sim.Config{T: p.T, Dt: dt, Gamma: p.Gamma, Space: space})
 		if err != nil {
 			return Outcome{}, err
@@ -281,14 +376,22 @@ func runVariable(algo string, p Params, pr *Prepared, dt float64) (Outcome, erro
 		return Outcome{
 			Cost: res.Cost(), Deaths: res.Deaths,
 			Dispatches: res.Schedule.Dispatches(), Replans: pol.Replans,
+			PlanMillis:   millis(time.Duration(pol.PlanNs)),
+			RefineMillis: millis(time.Duration(refineNs)),
 		}, nil
 	case AlgoGreedy:
-		res, err := sim.Run(net, model, &core.Greedy{Rooted: p.Rooted},
+		pol := &core.Greedy{Rooted: p.Rooted}
+		pr.tourOptions(&pol.Rooted, &refineNs)
+		res, err := sim.Run(net, model, pol,
 			sim.Config{T: p.T, Dt: dt, Gamma: p.Gamma, Space: space})
 		if err != nil {
 			return Outcome{}, err
 		}
-		return Outcome{Cost: res.Cost(), Deaths: res.Deaths, Dispatches: res.Schedule.Dispatches()}, nil
+		return Outcome{
+			Cost: res.Cost(), Deaths: res.Deaths, Dispatches: res.Schedule.Dispatches(),
+			PlanMillis:   millis(time.Duration(pol.PlanNs)),
+			RefineMillis: millis(time.Duration(refineNs)),
+		}, nil
 	default:
 		return Outcome{}, fmt.Errorf("experiment: algorithm %q not valid for variable cycles", algo)
 	}
@@ -298,12 +401,21 @@ func runVariable(algo string, p Params, pr *Prepared, dt float64) (Outcome, erro
 // Section III-C: dispatch all q chargers over *all* sensors every τ_min.
 // Its cost is one full q-rooted TSP times the number of τ_min intervals
 // in T.
-func runChargeAll(p Params, net *wsn.Network, space metric.Dense) (Outcome, error) {
-	sol := rooted.Tours(space, net.DepotIndices(), net.SensorIndices(), p.Rooted)
+func runChargeAll(p Params, pr *Prepared) (Outcome, error) {
+	net := pr.Net
+	opt := p.Rooted
+	var refineNs int64
+	pr.tourOptions(&opt, &refineNs)
+	t0 := time.Now()
+	sol := rooted.Tours(pr.Space, net.DepotIndices(), net.SensorIndices(), opt)
+	planMillis := millis(time.Since(t0))
 	tau1 := net.MinCycle()
 	rounds := int(math.Ceil(p.T/tau1)) - 1
 	if rounds < 0 {
 		rounds = 0
 	}
-	return Outcome{Cost: sol.Cost() * float64(rounds), Dispatches: rounds}, nil
+	return Outcome{
+		Cost: sol.Cost() * float64(rounds), Dispatches: rounds,
+		PlanMillis: planMillis, RefineMillis: millis(time.Duration(refineNs)),
+	}, nil
 }

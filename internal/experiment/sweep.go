@@ -45,6 +45,34 @@ type Cell struct {
 	Topology int
 }
 
+// CellError is the error a failed sweep returns: it identifies the
+// first failing cell so harness output can point at the exact
+// (x, topology, algorithm) to re-run. Later cells are drained, not run,
+// so the sweep still terminates promptly and Progress reaches total.
+type CellError struct {
+	Sweep    string
+	X        float64
+	Topology int
+	// Algo is the algorithm that failed, or "" when cell preparation
+	// (topology generation) failed before any algorithm ran.
+	Algo string
+	Err  error
+}
+
+// Label renders the failing cell's coordinates, e.g.
+// "fig5 x=300 topo=7 algo=Greedy".
+func (e *CellError) Label() string {
+	l := fmt.Sprintf("%s x=%v topo=%d", e.Sweep, e.X, e.Topology)
+	if e.Algo != "" {
+		l += " algo=" + e.Algo
+	}
+	return l
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("experiment: %s: %v", e.Label(), e.Err) }
+
+func (e *CellError) Unwrap() error { return e.Err }
+
 // Point is the aggregated result at one x value.
 type Point struct {
 	X float64
@@ -60,8 +88,13 @@ type Point struct {
 	// Replans is the mean number of re-plans (MinTotalDistance-var).
 	Replans map[string]float64
 	// Millis is the mean wall-clock milliseconds per cell
-	// (non-deterministic; for the scalability study).
-	Millis map[string]float64
+	// (non-deterministic; for the scalability study). PlanMillis and
+	// RefineMillis break it into phases: planning (tour construction
+	// and re-planning), the local-search share of planning, and — by
+	// subtraction from Millis — simulation.
+	Millis       map[string]float64
+	PlanMillis   map[string]float64
+	RefineMillis map[string]float64
 	// LowerBound is the mean certified lower bound on OPT (PlanFixed).
 	LowerBound float64
 }
@@ -113,37 +146,45 @@ func (s Sweep) Run() (Series, error) {
 	total := len(s.Xs) * s.Topologies
 	master := rng.New(s.Seed)
 
+	runCell := func(c Cell, ws *Scratch) {
+		x := s.Xs[c.XIndex]
+		p := s.Make(x, c.Topology)
+		p.Seed = master.Split(hashName(s.Name), math.Float64bits(x), uint64(c.Topology)).Seed()
+		// Prepare the cell once: topology, dense distance matrix,
+		// candidate lists and (variable regime) the slotted model are
+		// shared by every algorithm of the cell.
+		pr, err := PrepareInto(p, ws)
+		if err != nil {
+			firstErr.CompareAndSwap(nil, &CellError{Sweep: s.Name, X: x, Topology: c.Topology, Err: err})
+			return
+		}
+		outs := make(map[string]Outcome, len(s.Algorithms))
+		for _, algo := range s.Algorithms {
+			o, err := pr.Run(algo, p)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, &CellError{Sweep: s.Name, X: x, Topology: c.Topology, Algo: algo, Err: err})
+				return
+			}
+			outs[algo] = o
+		}
+		results[c.XIndex][c.Topology] = cellOut{out: outs}
+	}
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker arena: the dense matrix, candidate lists and
+			// local-search buffers are rebuilt in place cell after cell.
+			// Workers never share cells, so the reuse is goroutine-local.
+			var ws Scratch
 			for c := range cells {
-				if firstErr.Load() != nil {
-					continue // drain
+				// After the first error, remaining cells are drained
+				// without building them (s.Make and Prepare are skipped),
+				// but still counted, so Progress reaches total.
+				if firstErr.Load() == nil {
+					runCell(c, &ws)
 				}
-				p := s.Make(s.Xs[c.XIndex], c.Topology)
-				p.Seed = master.Split(hashName(s.Name), math.Float64bits(s.Xs[c.XIndex]), uint64(c.Topology)).Seed()
-				// Prepare the cell once: topology, dense distance
-				// matrix, and (variable regime) the slotted model are
-				// shared by every algorithm of the cell. Workers never
-				// share cells, so the sharing is goroutine-local.
-				pr, err := Prepare(p)
-				if err != nil {
-					firstErr.CompareAndSwap(nil, fmt.Errorf("experiment: %s x=%v topo=%d: %w",
-						s.Name, s.Xs[c.XIndex], c.Topology, err))
-					continue
-				}
-				outs := make(map[string]Outcome, len(s.Algorithms))
-				for _, algo := range s.Algorithms {
-					o, err := pr.Run(algo, p)
-					if err != nil {
-						firstErr.CompareAndSwap(nil, fmt.Errorf("experiment: %s x=%v topo=%d algo=%s: %w",
-							s.Name, s.Xs[c.XIndex], c.Topology, algo, err))
-						break
-					}
-					outs[algo] = o
-				}
-				results[c.XIndex][c.Topology] = cellOut{out: outs}
 				if s.Progress != nil {
 					s.Progress(int(atomic.AddInt64(&done, 1)), total)
 				}
@@ -158,25 +199,27 @@ func (s Sweep) Run() (Series, error) {
 	close(cells)
 	wg.Wait()
 	if e := firstErr.Load(); e != nil {
-		return Series{}, e.(error)
+		return Series{}, e.(*CellError)
 	}
 
 	series := Series{Name: s.Name, XLabel: s.XLabel, Algorithms: s.Algorithms}
 	for xi, x := range s.Xs {
 		pt := Point{
-			X:          x,
-			Costs:      map[string][]float64{},
-			Summary:    map[string]stats.Summary{},
-			Deaths:     map[string]int{},
-			Dispatches: map[string]float64{},
-			Replans:    map[string]float64{},
-			Millis:     map[string]float64{},
+			X:            x,
+			Costs:        map[string][]float64{},
+			Summary:      map[string]stats.Summary{},
+			Deaths:       map[string]int{},
+			Dispatches:   map[string]float64{},
+			Replans:      map[string]float64{},
+			Millis:       map[string]float64{},
+			PlanMillis:   map[string]float64{},
+			RefineMillis: map[string]float64{},
 		}
 		var lbSum float64
 		for _, algo := range s.Algorithms {
 			costs := make([]float64, 0, s.Topologies)
 			var deaths int
-			var disp, replans, millis float64
+			var disp, replans, millis, planMs, refineMs float64
 			for topo := 0; topo < s.Topologies; topo++ {
 				o := results[xi][topo].out[algo]
 				costs = append(costs, o.Cost)
@@ -184,6 +227,8 @@ func (s Sweep) Run() (Series, error) {
 				disp += float64(o.Dispatches)
 				replans += float64(o.Replans)
 				millis += o.Millis
+				planMs += o.PlanMillis
+				refineMs += o.RefineMillis
 				if algo == AlgoMTD {
 					lbSum += o.LowerBound
 				}
@@ -194,6 +239,8 @@ func (s Sweep) Run() (Series, error) {
 			pt.Dispatches[algo] = disp / float64(s.Topologies)
 			pt.Replans[algo] = replans / float64(s.Topologies)
 			pt.Millis[algo] = millis / float64(s.Topologies)
+			pt.PlanMillis[algo] = planMs / float64(s.Topologies)
+			pt.RefineMillis[algo] = refineMs / float64(s.Topologies)
 		}
 		pt.LowerBound = lbSum / float64(s.Topologies)
 		series.Points = append(series.Points, pt)

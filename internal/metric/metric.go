@@ -132,6 +132,43 @@ func Materialize(sp Space) Dense {
 	return out
 }
 
+// MaterializeInto fills dst with sp's distances, reusing dst's backing
+// array when it is large enough — the arena form of Materialize for
+// callers (the sweep worker loop) that materialize many spaces of
+// similar size in sequence. Unlike Materialize it always copies, never
+// aliases, so dst stays valid after sp is gone; sp must not alias dst.
+func MaterializeInto(sp Space, dst *Dense) {
+	n := sp.Len()
+	if cap(dst.d) >= n*n {
+		dst.d = dst.d[:n*n]
+	} else {
+		dst.d = make([]float64, n*n)
+	}
+	dst.n = n
+	switch s := sp.(type) {
+	case Dense:
+		copy(dst.d, s.d)
+		return
+	case *Dense:
+		copy(dst.d, s.d)
+		return
+	case Matrix:
+		for i, row := range s.D {
+			copy(dst.Row(i), row)
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		row := dst.Row(i)
+		row[i] = 0 // reused storage: the generic fill skips the diagonal
+		for j := i + 1; j < n; j++ {
+			v := sp.Dist(i, j)
+			row[j] = v
+			dst.Row(j)[i] = v
+		}
+	}
+}
+
 // CheckTriangle verifies the triangle inequality on sp up to tolerance
 // eps, returning a descriptive error for the first violation found. It is
 // O(n^3) and intended for tests.

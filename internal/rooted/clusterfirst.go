@@ -55,9 +55,16 @@ func clusterFirst(sp metric.Space, depots, sensors []int, opt Options) Solution 
 			// through the parent on every distance query.
 			sub := metric.NewSub(sp, local).Flatten()
 			tour := tsp.NearestNeighbor(sub, 0)
-			rounds := opt.refineRounds()
-			tour, _ = tsp.TwoOpt(sub, tour, rounds)
-			tour, _ = tsp.OrOpt(sub, tour, rounds)
+			// opt.Neighbors indexes the parent space, so it cannot be
+			// used on the flattened subspace; build per-group lists once
+			// and share them between both refiners when the group is big
+			// enough to amortize the build.
+			ropt := opt
+			ropt.Neighbors = nil
+			if len(local) >= 64 {
+				ropt.Neighbors = sub.NearestLists(metric.DefaultNearest)
+			}
+			tour = ropt.refine(sub, tour)
 			for _, v := range tour[1:] {
 				t.Stops = append(t.Stops, local[v])
 			}

@@ -2,6 +2,8 @@ package rooted
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/metric"
@@ -23,6 +25,21 @@ type Options struct {
 	// MaxRefineRounds bounds local-search sweeps; 0 means a default of
 	// 8, negative means until convergence.
 	MaxRefineRounds int
+	// Neighbors optionally supplies candidate lists built from the same
+	// Dense space the solver runs on (metric.Dense.NearestLists);
+	// refinement and balancing then use the exact candidate-list sweeps
+	// — bit-identical results, far fewer distance evaluations. Harnesses
+	// that solve many instances over one space build the lists once and
+	// share them read-only. Ignored when the space is not Dense.
+	Neighbors *metric.NearestLists
+	// Scratch optionally supplies a reusable arena for the candidate-
+	// list sweeps, taking steady-state refinement allocations to zero.
+	// Must not be shared between concurrent solver calls.
+	Scratch *tsp.Scratch
+	// RefineNs, when non-nil, is atomically incremented by the
+	// nanoseconds spent in local-search refinement, so harnesses can
+	// split planning time into construction and refinement phases.
+	RefineNs *int64
 }
 
 func (o Options) refineRounds() int {
@@ -30,6 +47,29 @@ func (o Options) refineRounds() int {
 		return 8
 	}
 	return o.MaxRefineRounds
+}
+
+// refine runs the 2-opt + Or-opt polish on one tour, through the
+// candidate-list sweeps when lists are available, and credits the time
+// to RefineNs. All paths produce bit-identical tours (see
+// internal/tsp/candidates.go).
+func (o Options) refine(sp metric.Space, tour []int) []int {
+	var t0 time.Time
+	if o.RefineNs != nil {
+		t0 = time.Now()
+	}
+	rounds := o.refineRounds()
+	if d, ok := metric.AsDense(sp); ok && o.Neighbors != nil {
+		tour, _ = tsp.TwoOptLists(d, o.Neighbors, tour, rounds, o.Scratch)
+		tour, _ = tsp.OrOptLists(d, o.Neighbors, tour, rounds, o.Scratch)
+	} else {
+		tour, _ = tsp.TwoOpt(sp, tour, rounds)
+		tour, _ = tsp.OrOpt(sp, tour, rounds)
+	}
+	if o.RefineNs != nil {
+		atomic.AddInt64(o.RefineNs, int64(time.Since(t0)))
+	}
+	return tour
 }
 
 // Tour is one closed charging tour: the depot vertex followed by the
@@ -131,8 +171,7 @@ func tourFromTree(sp metric.Space, parent []int, members []int, depot int, opt O
 		tour = graph.Shortcut(walk)
 	}
 	if opt.Refine {
-		tour, _ = tsp.TwoOpt(sp, tour, opt.refineRounds())
-		tour, _ = tsp.OrOpt(sp, tour, opt.refineRounds())
+		tour = opt.refine(sp, tour)
 	}
 	if tour[0] != depot {
 		panic(fmt.Sprintf("rooted: tour lost its depot %d", depot))

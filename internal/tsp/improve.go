@@ -13,10 +13,15 @@ import "repro/internal/metric"
 // floating-point noise.
 //
 // When sp is a metric.Dense the sweep runs a devirtualized instantiation
-// whose distance lookups inline to flat-array indexing; the move
-// sequence (and hence the result) is identical on both paths.
+// whose distance lookups inline to flat-array indexing; on instances
+// large enough to amortize the build it additionally runs the exact
+// candidate-list sweep (see candidates.go). The move sequence (and
+// hence the result) is identical on all paths.
 func TwoOpt(sp metric.Space, tour []int, maxRounds int) ([]int, int) {
 	if d, ok := metric.AsDense(sp); ok {
+		if nl := autoLists(d, len(tour)); nl != nil {
+			return TwoOptLists(d, nl, tour, maxRounds, nil)
+		}
 		return twoOpt(d, tour, maxRounds)
 	}
 	return twoOpt(sp, tour, maxRounds)
@@ -66,6 +71,9 @@ func twoOpt[S metric.Space](sp S, tour []int, maxRounds int) ([]int, int) {
 // Like TwoOpt it dispatches to a devirtualized sweep on metric.Dense.
 func OrOpt(sp metric.Space, tour []int, maxRounds int) ([]int, int) {
 	if d, ok := metric.AsDense(sp); ok {
+		if nl := autoLists(d, len(tour)); nl != nil {
+			return OrOptLists(d, nl, tour, maxRounds, nil)
+		}
 		return orOpt(d, tour, maxRounds)
 	}
 	return orOpt(sp, tour, maxRounds)
@@ -121,23 +129,18 @@ func orOpt[S metric.Space](sp S, tour []int, maxRounds int) ([]int, int) {
 }
 
 // relocate moves the segment tour[i:i+segLen] so it follows the vertex
-// currently at index j (j outside the segment), returning the new tour.
+// currently at index j (j outside the segment and not i-1), in place:
+// the gap between the segment and its target shifts over, the segment
+// drops in behind the target, and nothing is allocated (segLen <= 3).
 func relocate(tour []int, i, segLen, j int) []int {
-	seg := append([]int(nil), tour[i:i+segLen]...)
-	rest := append([]int(nil), tour[:i]...)
-	rest = append(rest, tour[i+segLen:]...)
-	// Find where j's vertex now lives in rest.
-	target := tour[j]
-	pos := -1
-	for k, v := range rest {
-		if v == target {
-			pos = k
-			break
-		}
+	var seg [3]int
+	copy(seg[:segLen], tour[i:i+segLen])
+	if j > i {
+		copy(tour[i:], tour[i+segLen:j+1])
+		copy(tour[j-segLen+1:j+1], seg[:segLen])
+	} else {
+		copy(tour[j+1+segLen:i+segLen], tour[j+1:i])
+		copy(tour[j+1:j+1+segLen], seg[:segLen])
 	}
-	out := make([]int, 0, len(tour))
-	out = append(out, rest[:pos+1]...)
-	out = append(out, seg...)
-	out = append(out, rest[pos+1:]...)
-	return out
+	return tour
 }

@@ -15,6 +15,9 @@ import "repro/internal/metric"
 // Like TwoOpt it dispatches to a devirtualized sweep on metric.Dense.
 func SegmentExchange(sp metric.Space, tour []int, maxRounds int) ([]int, int) {
 	if d, ok := metric.AsDense(sp); ok {
+		if nl := autoLists(d, len(tour)); nl != nil {
+			return SegmentExchangeLists(d, nl, tour, maxRounds, nil)
+		}
 		return segmentExchange(d, tour, maxRounds)
 	}
 	return segmentExchange(sp, tour, maxRounds)

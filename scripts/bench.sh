@@ -8,13 +8,16 @@
 #                                      (default BENCH_seed.json); exits 1
 #                                      on any >15% ns/op regression
 #
-# Extra stability knobs: BENCHTIME (default 3x), COUNT (default 3).
+# Extra stability knobs: BENCHTIME (default 3x), COUNT (default 3;
+# the parser keeps the per-field median across the COUNT runs), and
+# THRESHOLD (default 0.15 — fractional ns/op growth that fails check).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-3x}"
 COUNT="${COUNT:-3}"
+THRESHOLD="${THRESHOLD:-0.15}"
 PATTERN='Fig|Ablation'
 
 capture() {
@@ -36,7 +39,7 @@ check)
     tmp="$(mktemp)"
     trap 'rm -f "$tmp"' EXIT
     capture "$tmp"
-    go run ./cmd/bench -compare "$base" "$tmp"
+    go run ./cmd/bench -compare -threshold "$THRESHOLD" "$base" "$tmp"
     ;;
 *)
     echo "usage: $0 capture <label> | check [baseline.json]" >&2
