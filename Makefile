@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench-smoke bench-check profile check
+.PHONY: build vet lint test race check-test bench-smoke bench-check profile check
 
 build:
 	$(GO) build ./...
@@ -10,11 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific static analysis (internal/lint): determinism and
+# hot-path conventions that go vet has no opinion on.
+lint:
+	$(GO) run ./cmd/lint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Full suite with the runtime invariant layer live (internal/check).
+check-test:
+	$(GO) test -tags checks ./...
 
 # One iteration of every benchmark: catches bit-rot in bench code
 # without paying for a real measurement.
@@ -34,4 +43,4 @@ profile:
 		-cpuprofile profiles/cpu.out -memprofile profiles/mem.out
 	@echo "profiles written; try: go tool pprof -top profiles/cpu.out"
 
-check: build vet race bench-smoke
+check: build vet lint race check-test bench-smoke

@@ -1,0 +1,50 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestSweepDeterminism runs one small figure sweep twice — one worker on
+// a single CPU, then eight workers on all CPUs — and requires the
+// serialized results to be byte-identical. Every cell derives its seed
+// from its own label, not from scheduling order, so neither the worker
+// count nor GOMAXPROCS may change a single bit. The only fields exempt
+// are the wall-clock diagnostics (Millis, PlanMillis, RefineMillis),
+// which Point documents as non-deterministic; they are cleared before
+// comparison. This is the regression guard behind the conventions
+// internal/lint enforces statically.
+func TestSweepDeterminism(t *testing.T) {
+	run := func(workers, procs int) []byte {
+		t.Helper()
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		s, err := experiment.Figure("1a", experiment.Config{Topologies: 2, T: 200, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range s.Points {
+			s.Points[i].Millis = nil
+			s.Points[i].PlanMillis = nil
+			s.Points[i].RefineMillis = nil
+		}
+		b, err := json.MarshalIndent(s, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := run(1, 1)
+	parallel := run(8, runtime.NumCPU())
+	if !bytes.Equal(serial, parallel) {
+		a, b := serial, parallel
+		for len(a) > 0 && len(b) > 0 && a[0] == b[0] {
+			a, b = a[1:], b[1:]
+		}
+		t.Fatalf("sweep results differ between (workers=1, procs=1) and (workers=8, procs=%d); first divergence: %.80q vs %.80q",
+			runtime.NumCPU(), a, b)
+	}
+}

@@ -1,5 +1,6 @@
 package benchfmt
 
+//lint:file-allow floateq assertions compare parsed literals, exact by construction
 import (
 	"bytes"
 	"strings"

@@ -1,0 +1,6 @@
+//go:build checks
+
+package check
+
+// Enabled gates the runtime invariant hooks; this build has them live.
+const Enabled = true

@@ -1,0 +1,9 @@
+//go:build !checks
+
+package check
+
+// Enabled gates the runtime invariant hooks; without the "checks" build
+// tag it is a compile-time false, so every `if check.Enabled { ... }`
+// site is dead code the compiler deletes — default builds and
+// benchmarks pay nothing.
+const Enabled = false

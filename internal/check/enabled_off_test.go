@@ -1,0 +1,11 @@
+//go:build !checks
+
+package check
+
+import "testing"
+
+func TestDisabledByDefault(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled = true without the checks build tag")
+	}
+}

@@ -1,0 +1,11 @@
+//go:build checks
+
+package check
+
+import "testing"
+
+func TestEnabledUnderChecksTag(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled = false under -tags checks")
+	}
+}

@@ -166,7 +166,7 @@ func TestPlanFixedSortieBudgetParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seq.Cost() != par.Cost() {
+	if seq.Cost() != par.Cost() { //lint:allow floateq sequential and parallel planning must agree bit-for-bit
 		t.Errorf("parallel budgeted plan differs: %g vs %g", par.Cost(), seq.Cost())
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/check"
 	"repro/internal/metric"
 	"repro/internal/rooted"
 	"repro/internal/sched"
@@ -198,6 +199,24 @@ func PlanFixed(net *wsn.Network, T float64, opt FixedOptions) (*FixedPlan, error
 			}
 		}
 	}
+
+	if check.Enabled {
+		// Lemma 2's feasibility guarantee, verified against the actual
+		// (unrounded) cycles, terminal gap included.
+		if err := check.Gaps(plan.Schedule.ChargeTimes(net.N()), cycles, T, 1e-9); err != nil {
+			return nil, fmt.Errorf("core: PlanFixed feasibility: %w", err)
+		}
+		// Each prefix solution D_k must cover exactly V_0 ∪ … ∪ V_k.
+		for k := 0; k <= K; k++ {
+			var got []int
+			for _, t := range sols[k].Tours {
+				got = append(got, t.Stops...)
+			}
+			if err := check.Covers(fmt.Sprintf("prefix solution D_%d", k), got, prefixes[k]); err != nil {
+				return nil, fmt.Errorf("core: PlanFixed coverage: %w", err)
+			}
+		}
+	}
 	return plan, nil
 }
 
@@ -248,7 +267,7 @@ func classIndex(c, tau1, base float64) int {
 // Non-integer bases only ever divide j at k = 0.
 func orderOf(j int, base float64, cap int) int {
 	ib := int(base)
-	if float64(ib) != base || ib < 2 {
+	if float64(ib) != base || ib < 2 { //lint:allow floateq exact integrality test on the cycle ratio, by design
 		return 0
 	}
 	k := 0

@@ -1,5 +1,6 @@
 package core
 
+//lint:file-allow floateq plan-field passthrough and sequential-vs-parallel planning must be exact: bit-identical results are the determinism contract
 import (
 	"math"
 	"testing"

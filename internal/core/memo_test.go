@@ -46,7 +46,7 @@ func TestVarMemoHitsAndIdenticalTours(t *testing.T) {
 		t.Errorf("NoMemo run touched the cache: %d hits, %d misses", h, m)
 	}
 
-	if memoRes.Cost() != plainRes.Cost() {
+	if memoRes.Cost() != plainRes.Cost() { //lint:allow floateq memoized and recomputed plans must agree bit-for-bit
 		t.Errorf("cost diverged: memo %v, plain %v", memoRes.Cost(), plainRes.Cost())
 	}
 	if len(memoRes.Schedule.Rounds) != len(plainRes.Schedule.Rounds) {
@@ -55,7 +55,7 @@ func TestVarMemoHitsAndIdenticalTours(t *testing.T) {
 	}
 	for i := range memoRes.Schedule.Rounds {
 		a, b := memoRes.Schedule.Rounds[i], plainRes.Schedule.Rounds[i]
-		if a.Time != b.Time || !reflect.DeepEqual(a.Tours, b.Tours) {
+		if a.Time != b.Time || !reflect.DeepEqual(a.Tours, b.Tours) { //lint:allow floateq memoized and recomputed plans must agree bit-for-bit
 			t.Fatalf("round %d diverged between memoized and plain runs", i)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/energy"
 	"repro/internal/geom"
 	"repro/internal/rooted"
@@ -124,7 +125,7 @@ func (v *Var) receiveReports(env *sim.Env) {
 	for i := range v.reported {
 		cur := env.PredCycle(i)
 		if v.UpdateThreshold <= 0 {
-			if cur != v.reported[i] {
+			if cur != v.reported[i] { //lint:allow floateq exact change detection against the last reported value
 				v.reported[i] = cur
 				v.UpdatesReceived++
 			}
@@ -153,9 +154,9 @@ func (v *Var) Decide(env *sim.Env, t float64) ([]rooted.Tour, error) {
 	if j < 1 || math.Abs(p.t0+float64(j)*p.tau1-t) > eps {
 		return nil, nil // not a dispatch time under the current plan
 	}
-	t0 := time.Now()
+	t0 := time.Now() //lint:allow walltime diagnostic PlanNs accounting, never feeds results
 	sol, err := v.roundSolution(env, j)
-	v.PlanNs += int64(time.Since(t0))
+	v.PlanNs += int64(time.Since(t0)) //lint:allow walltime diagnostic PlanNs accounting, never feeds results
 	if err != nil {
 		return nil, err
 	}
@@ -211,8 +212,8 @@ func (v *Var) triggered(env *sim.Env) bool {
 // replan rebuilds the plan anchored at time t and returns the emergency
 // round C'_0 to dispatch immediately (nil if empty).
 func (v *Var) replan(env *sim.Env, t float64) ([]rooted.Tour, error) {
-	t0 := time.Now()
-	defer func() { v.PlanNs += int64(time.Since(t0)) }()
+	t0 := time.Now()                                     //lint:allow walltime diagnostic PlanNs accounting, never feeds results
+	defer func() { v.PlanNs += int64(time.Since(t0)) }() //lint:allow walltime diagnostic PlanNs accounting, never feeds results
 	v.Replans++
 	n := env.Net.N()
 	if cap(v.cyclesBuf) < n {
@@ -410,14 +411,33 @@ func (v *Var) roundSolution(env *sim.Env, j int) (*rooted.Solution, error) {
 		}
 		members = append(members, p.patches[j]...)
 		sol := v.memoTours(env, p.depots, members)
+		if check.Enabled {
+			if err := check.Covers(fmt.Sprintf("patched round %d", j), tourStops(sol), members); err != nil {
+				return nil, fmt.Errorf("core: Var coverage: %w", err)
+			}
+		}
 		p.patched[j] = sol
 		return sol, nil
 	}
 	k := p.roundClass(j)
 	if p.sols[k] == nil {
 		p.sols[k] = v.memoTours(env, p.depots, p.prefix[k])
+		if check.Enabled {
+			if err := check.Covers(fmt.Sprintf("round class D_%d", k), tourStops(p.sols[k]), p.prefix[k]); err != nil {
+				return nil, fmt.Errorf("core: Var coverage: %w", err)
+			}
+		}
 	}
 	return p.sols[k], nil
+}
+
+// tourStops flattens a solution's stop lists (checks-build helper).
+func tourStops(sol *rooted.Solution) []int {
+	var out []int
+	for _, t := range sol.Tours {
+		out = append(out, t.Stops...)
+	}
+	return out
 }
 
 // MemoStats returns the hit/miss counters of the cross-plan tour cache

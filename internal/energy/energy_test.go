@@ -1,5 +1,6 @@
 package energy
 
+//lint:file-allow floateq model determinism is the contract: identical slots must give bit-identical cycles, and EWMA cases use exactly representable values
 import (
 	"math"
 	"testing"

@@ -1,5 +1,6 @@
 package experiment
 
+//lint:file-allow floateq cross-run determinism and config passthrough must be exact: equal seeds give bit-identical outcomes
 import (
 	"errors"
 	"math"

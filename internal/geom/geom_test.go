@@ -33,7 +33,7 @@ func TestDistBasics(t *testing.T) {
 func TestDistSymmetryProperty(t *testing.T) {
 	f := func(ax, ay, bx, by float64) bool {
 		a, b := Pt(ax, ay), Pt(bx, by)
-		return a.Dist(b) == b.Dist(a)
+		return a.Dist(b) == b.Dist(a) //lint:allow floateq symmetry must hold bit-for-bit
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -72,14 +72,14 @@ func TestVectorOps(t *testing.T) {
 	if got := a.Scale(2); got != Pt(2, 4) {
 		t.Errorf("Scale = %v", got)
 	}
-	if got := Pt(3, 4).Norm(); got != 5 {
+	if got := Pt(3, 4).Norm(); !almostEq(got, 5, 1e-12) {
 		t.Errorf("Norm = %g", got)
 	}
 }
 
 func TestRect(t *testing.T) {
 	r := Square(1000)
-	if r.Width() != 1000 || r.Height() != 1000 {
+	if r.Width() != 1000 || r.Height() != 1000 { //lint:allow floateq accessors return stored extents unchanged
 		t.Fatalf("Square dims: %g x %g", r.Width(), r.Height())
 	}
 	if c := r.Center(); c != Pt(500, 500) {

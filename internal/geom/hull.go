@@ -19,7 +19,7 @@ func ConvexHull(pts []Point) []int {
 	}
 	sort.Slice(idx, func(a, b int) bool {
 		pa, pb := pts[idx[a]], pts[idx[b]]
-		if pa.X != pb.X {
+		if pa.X != pb.X { //lint:allow floateq lexicographic sort tie-break needs exact comparison
 			return pa.X < pb.X
 		}
 		return pa.Y < pb.Y

@@ -40,7 +40,7 @@ func TestConvexHullDegenerate(t *testing.T) {
 		t.Errorf("single perimeter = %g", p)
 	}
 	two := []Point{Pt(0, 0), Pt(3, 4)}
-	if p := HullPerimeter(two); p != 10 {
+	if p := HullPerimeter(two); math.Abs(p-10) > 1e-12 {
 		t.Errorf("two-point perimeter = %g, want 10", p)
 	}
 	// Duplicates collapse.
@@ -54,7 +54,7 @@ func TestConvexHullDegenerate(t *testing.T) {
 	if len(h) != 2 {
 		t.Fatalf("collinear hull = %v", h)
 	}
-	if p := HullPerimeter(col); p != 6 {
+	if p := HullPerimeter(col); math.Abs(p-6) > 1e-12 {
 		t.Errorf("collinear perimeter = %g, want 6", p)
 	}
 }

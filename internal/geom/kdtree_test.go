@@ -1,6 +1,7 @@
 package geom
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -31,7 +32,7 @@ func TestKDTreeEmpty(t *testing.T) {
 func TestKDTreeSinglePoint(t *testing.T) {
 	tree := NewKDTree([]Point{Pt(7, 7)})
 	idx, d := tree.Nearest(Pt(7, 10))
-	if idx != 0 || d != 3 {
+	if idx != 0 || math.Abs(d-3) > 1e-12 {
 		t.Errorf("Nearest = (%d, %g), want (0, 3)", idx, d)
 	}
 }
@@ -58,7 +59,7 @@ func TestKDTreeNearestSuchThat(t *testing.T) {
 	pts := []Point{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0)}
 	tree := NewKDTree(pts)
 	idx, d := tree.NearestSuchThat(Pt(0, 0), func(i int) bool { return i >= 2 })
-	if idx != 2 || d != 2 {
+	if idx != 2 || math.Abs(d-2) > 1e-12 {
 		t.Errorf("filtered nearest = (%d, %g), want (2, 2)", idx, d)
 	}
 	idx, _ = tree.NearestSuchThat(Pt(0, 0), func(i int) bool { return false })

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective parses one comment line; ok reports whether it is a
+// //lint:allow or //lint:file-allow directive, check is the suppressed
+// check name, and file reports the file-scoped form.
+func allowDirective(text string) (check string, file, ok bool) {
+	rest, found := strings.CutPrefix(strings.TrimSpace(text), "//lint:allow")
+	if !found {
+		rest, found = strings.CutPrefix(strings.TrimSpace(text), "//lint:file-allow")
+		if !found {
+			return "", false, false
+		}
+		file = true
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false, false
+	}
+	return fields[0], file, true
+}
+
+// allowIndex answers "is (position, check) suppressed?" for one package.
+// Four suppression shapes are indexed:
+//
+//   - a trailing //lint:allow comment suppresses its own line,
+//   - a //lint:allow comment also suppresses the line directly below it
+//     (the own-line form),
+//   - an allow directive inside a function's doc comment suppresses the
+//     whole function body (used for deliberate non-Dense fallback
+//     implementations), and
+//   - a //lint:file-allow directive suppresses the check in its whole
+//     file (used for test files where one intentional pattern, like
+//     exact assertions on parsed literals, would need a dozen line
+//     annotations).
+type allowIndex struct {
+	// lines[filename][line] holds the checks suppressed on that line.
+	lines map[string]map[int]map[string]bool
+	// spans holds function-level suppressions as [start, end] line
+	// ranges per file and check.
+	spans map[string][]allowSpan
+	// files[filename] holds the checks suppressed file-wide.
+	files map[string]map[string]bool
+}
+
+type allowSpan struct {
+	check      string
+	start, end int
+}
+
+func buildAllowIndex(p *Package) *allowIndex {
+	idx := &allowIndex{
+		lines: map[string]map[int]map[string]bool{},
+		spans: map[string][]allowSpan{},
+		files: map[string]map[string]bool{},
+	}
+	for _, f := range p.Files {
+		file := p.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				check, fileWide, ok := allowDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if fileWide {
+					if idx.files[file] == nil {
+						idx.files[file] = map[string]bool{}
+					}
+					idx.files[file][check] = true
+					continue
+				}
+				line := p.Fset.Position(c.Pos()).Line
+				idx.addLine(file, line, check)
+				idx.addLine(file, line+1, check)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if check, fileWide, ok := allowDirective(c.Text); ok && !fileWide {
+					idx.spans[file] = append(idx.spans[file], allowSpan{
+						check: check,
+						start: p.Fset.Position(fd.Pos()).Line,
+						end:   p.Fset.Position(fd.End()).Line,
+					})
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *allowIndex) addLine(file string, line int, check string) {
+	m := idx.lines[file]
+	if m == nil {
+		m = map[int]map[string]bool{}
+		idx.lines[file] = m
+	}
+	s := m[line]
+	if s == nil {
+		s = map[string]bool{}
+		m[line] = s
+	}
+	s[check] = true
+}
+
+func (idx *allowIndex) allowed(pos token.Position, check string) bool {
+	if idx.files[pos.Filename][check] {
+		return true
+	}
+	if idx.lines[pos.Filename][pos.Line][check] {
+		return true
+	}
+	for _, sp := range idx.spans[pos.Filename] {
+		if sp.check == check && pos.Line >= sp.start && pos.Line <= sp.end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// runFloatEq flags == and != between floating-point operands. Exact
+// float equality turns last-bit representation noise into control-flow
+// divergence, the classic way determinism dies under refactoring; use a
+// tolerance, or annotate the site when exactness is the point. Two
+// idioms are deliberately not flagged:
+//
+//   - comparison against an exact-zero constant (the repo-wide "option
+//     unset" sentinel, e.g. cfg.Dt == 0), and
+//   - x != x (the NaN self-test).
+func runFloatEq(a *Analyzer, p *Package) []Finding {
+	var out []Finding
+	for _, f := range a.files(p) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p, bin.X) || !isFloat(p, bin.Y) {
+				return true
+			}
+			if isZeroConst(p, bin.X) || isZeroConst(p, bin.Y) {
+				return true
+			}
+			if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+				return true // NaN self-test
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(bin.OpPos),
+				Check: a.Name,
+				Msg: "exact float " + bin.Op.String() + " comparison; use a tolerance " +
+					"(math.Abs(a-b) <= eps) or annotate //lint:allow floateq <reason>",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+func isFloat(p *Package, e ast.Expr) bool {
+	t := p.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}

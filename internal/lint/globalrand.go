@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandSafe lists the math/rand (and math/rand/v2) package-level
+// functions that do NOT touch the shared global source: constructors for
+// private streams. Everything else package-level — Intn, Float64, Perm,
+// Shuffle, Seed, ... — draws from process-global state, whose sequence
+// depends on every other consumer in the binary; deterministic code must
+// derive a private stream from internal/rng instead.
+var globalRandSafe = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// runGlobalRand flags any use of the global math/rand source outside
+// internal/rng (which owns seed derivation) and test files (where
+// convenience randomness is fine).
+func runGlobalRand(a *Analyzer, p *Package) []Finding {
+	var out []Finding
+	for _, f := range a.files(p) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Only package-qualified references: the selector base must
+			// name the math/rand package, not a *rand.Rand value.
+			base, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pn, ok := p.Info.Uses[base].(*types.PkgName); !ok ||
+				(pn.Imported().Path() != "math/rand" && pn.Imported().Path() != "math/rand/v2") {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if _, isFunc := obj.(*types.Func); !isFunc || globalRandSafe[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(sel.Pos()),
+				Check: a.Name,
+				Msg: "global math/rand." + sel.Sel.Name + " is process-wide shared state; " +
+					"derive a private stream via internal/rng (rng.New / Source.Split)",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runHotDist flags calls of the form sp.Dist(i, j) — where sp's static
+// type is the metric.Space interface — inside a for/range loop in the
+// hot packages (internal/tsp, internal/rooted, internal/core). PR 1
+// mandated the metric.Dense row fast path there: an interface call per
+// distance costs dynamic dispatch and defeats bounds-check elimination
+// on what profiling showed to be the dominant inner loops. Legitimate
+// exceptions — the non-Dense fallback twins kept for correctness on
+// adversarial matrices, and validation code off the hot path — carry
+// function-level //lint:allow hotdist annotations.
+func runHotDist(a *Analyzer, p *Package) []Finding {
+	var out []Finding
+	for _, f := range a.files(p) {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !inLoop(stack) || !isSpaceDistCall(p, call) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(call.Pos()),
+				Check: a.Name,
+				Msg: "metric.Space.Dist interface call inside a loop in a hot package; " +
+					"use metric.AsDense + Row (see internal/tsp/candidates.go), or mark the " +
+					"non-Dense fallback with //lint:allow hotdist <reason>",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// inLoop reports whether the innermost enclosing function of the node on
+// top of the stack contains an enclosing for/range statement. A func
+// literal is a boundary: a closure defined inside a loop runs per call,
+// not per iteration.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// isSpaceDistCall reports whether call is a Dist method call whose
+// receiver's static type is the repro/internal/metric.Space interface.
+func isSpaceDistCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Dist" {
+		return false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	named, ok := s.Recv().(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Space" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "repro/internal/metric"
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// runMapOrder flags range-over-map loops in deterministic packages whose
+// bodies leak iteration order into results: appending to a slice,
+// accumulating a float (addition order changes the rounded sum), or
+// writing output. The canonical collect-keys-then-sort idiom is
+// recognized — a loop is cleared when a later statement in the same
+// block calls into sort or slices — and anything else intentional takes
+// a //lint:allow maporder annotation.
+func runMapOrder(a *Analyzer, p *Package) []Finding {
+	var out []Finding
+	for _, f := range a.files(p) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMap(p, rng.X) {
+					continue
+				}
+				reason := orderLeak(p, rng.Body)
+				if reason == "" || sortFollows(p, block.List[i+1:]) {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:   p.Fset.Position(rng.Pos()),
+					Check: a.Name,
+					Msg: "map iteration order leaks into " + reason + " with no following sort; " +
+						"sort the result, iterate a sorted key slice, or annotate //lint:allow maporder <reason>",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isMap(p *Package, e ast.Expr) bool {
+	t := p.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// orderLeak scans a range body for order-dependent effects and names the
+// first one found ("" when the body looks order-insensitive, like
+// counting or building another map).
+func orderLeak(p *Package, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := p.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+					reason = "a slice append"
+					return false
+				}
+			}
+			if fn := calleeFunc(p, n); fn != nil && isOutputFunc(fn) {
+				reason = "output (" + fn.FullName() + ")"
+				return false
+			}
+		case *ast.AssignStmt:
+			// Compound assignments on floats: sum order changes the
+			// result in the last bits.
+			if len(n.Lhs) == 1 && n.Tok.IsOperator() && n.Tok.String() != "=" && n.Tok.String() != ":=" {
+				if isFloat(p, n.Lhs[0]) {
+					reason = "a float accumulation"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// isOutputFunc reports whether fn writes user-visible output: the
+// fmt print family or an io.Writer-style Write*/String method.
+func isOutputFunc(fn *types.Func) bool {
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print") {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return true
+	}
+	return strings.HasPrefix(fn.Name(), "Write")
+}
+
+// sortFollows reports whether any of the statements calls into sort or
+// slices (the collect-then-sort idiom's second half).
+func sortFollows(p *Package, stmts []ast.Stmt) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "sort", "slices":
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+// Package floateq seeds the floateq analyzer fixture: exact float
+// comparisons, the two sanctioned idioms, and a suppressed site.
+package floateq
+
+// Same compares floats exactly — the classic determinism hazard.
+func Same(a, b float64) bool {
+	return a == b // want:floateq
+}
+
+// Changed is the != spelling.
+func Changed(a, b float64) bool {
+	return a != b // want:floateq
+}
+
+// Unset uses the zero-sentinel idiom ("option not set"); never flagged.
+func Unset(x float64) bool {
+	return x == 0
+}
+
+// IsNaN is the self-comparison NaN test; never flagged.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Allowed is suppressed by its trailing directive.
+func Allowed(a, b float64) bool {
+	return a == b //lint:allow floateq fixture: exactness is the contract here
+}

@@ -1,0 +1,22 @@
+// Package globalrand seeds the globalrand analyzer fixture: draws from
+// the process-global math/rand source versus the seeded-source idiom.
+package globalrand
+
+import "math/rand"
+
+// Draw reads the global source — irreproducible across runs.
+func Draw() float64 {
+	return rand.Float64() // want:globalrand
+}
+
+// Perm also hits the global source through a different function.
+func Perm(n int) []int {
+	return rand.Perm(n) // want:globalrand
+}
+
+// Seeded builds a private source; rand.New/rand.NewSource are the
+// sanctioned constructors and must not be flagged.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}

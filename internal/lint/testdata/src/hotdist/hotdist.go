@@ -1,0 +1,44 @@
+// Package hotdist seeds the hotdist analyzer fixture: metric.Space.Dist
+// interface calls inside loops versus the out-of-loop and closure cases.
+package hotdist
+
+import "repro/internal/metric"
+
+// Total dispatches through the interface once per inner iteration — the
+// pattern the Dense row fast path exists to remove.
+func Total(sp metric.Space) float64 {
+	var sum float64
+	for i := 0; i < sp.Len(); i++ {
+		for j := 0; j < sp.Len(); j++ {
+			sum += sp.Dist(i, j) // want:hotdist
+		}
+	}
+	return sum
+}
+
+// One calls Dist outside any loop; not flagged.
+func One(sp metric.Space) float64 {
+	return sp.Dist(0, 1)
+}
+
+// Closure defines a func literal inside a loop; the literal's body runs
+// per call, not per iteration, so the Dist inside it is not flagged.
+func Closure(sp metric.Space) []func() float64 {
+	var fs []func() float64
+	for i := 0; i < sp.Len(); i++ {
+		i := i
+		fs = append(fs, func() float64 { return sp.Dist(i, 0) })
+	}
+	return fs
+}
+
+// Allowed is the suppressed fallback twin.
+//
+//lint:allow hotdist fixture: deliberate non-Dense fallback
+func Allowed(sp metric.Space) float64 {
+	var sum float64
+	for i := 1; i < sp.Len(); i++ {
+		sum += sp.Dist(i-1, i)
+	}
+	return sum
+}

@@ -1,0 +1,45 @@
+// Package maporder seeds the maporder analyzer fixture: map ranges that
+// leak iteration order, and the collect-then-sort idiom that clears it.
+package maporder
+
+import "sort"
+
+// Keys appends map keys with no following sort — order leaks into the
+// returned slice.
+func Keys(m map[int]float64) []int {
+	var out []int
+	for k := range m { // want:maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sum accumulates floats in map order — the rounded total depends on
+// iteration order.
+func Sum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want:maporder
+		s += v
+	}
+	return s
+}
+
+// SortedKeys is the canonical idiom: the sort after the loop restores a
+// deterministic order, so the range is not flagged.
+func SortedKeys(m map[int]float64) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Count only counts — no order-dependent effect, not flagged.
+func Count(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,23 @@
+// Package walltime seeds the walltime analyzer fixture: wall-clock
+// reads feeding results, plus an annotated timing site that must stay
+// silent.
+package walltime
+
+import "time"
+
+// Epoch leaks the wall clock into a result — the determinism bug the
+// analyzer exists to catch.
+func Epoch() float64 {
+	now := time.Now() // want:walltime
+	return float64(now.UnixNano())
+}
+
+// Stamp leaks an elapsed duration through time.Since.
+func Stamp(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want:walltime
+}
+
+// Allowed is the suppressed twin; the directive must silence it.
+func Allowed() time.Time {
+	return time.Now() //lint:allow walltime fixture: diagnostic timing only
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runWalltime flags wall-clock reads — time.Now, time.Since, time.Until
+// — in algorithm packages. Those packages promise bit-identical,
+// replayable results; anything time-dependent belongs either in the
+// harness layer or behind an explicit //lint:allow walltime annotation
+// (the diagnostic PlanNs/RefineNs accounting, which never feeds back
+// into planning decisions).
+func runWalltime(a *Analyzer, p *Package) []Finding {
+	var out []Finding
+	for _, f := range a.files(p) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			switch fn.Name() {
+			case "Now", "Since", "Until":
+				out = append(out, Finding{
+					Pos:   p.Fset.Position(call.Pos()),
+					Check: a.Name,
+					Msg: "time." + fn.Name() + " in an algorithm package breaks replayable runs; " +
+						"move it to the harness or annotate //lint:allow walltime <reason>",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// calleeFunc resolves a call's callee to the package-level or method
+// *types.Func it invokes, or nil for indirect calls and conversions.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

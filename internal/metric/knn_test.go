@@ -1,5 +1,6 @@
 package metric
 
+//lint:file-allow floateq neighbour lists must reproduce brute-force distances bit-for-bit
 import (
 	"math"
 	"math/rand"

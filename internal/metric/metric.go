@@ -58,7 +58,7 @@ func NewMatrix(d [][]float64) (Matrix, error) {
 			return Matrix{}, fmt.Errorf("metric: nonzero diagonal at %d: %g", i, row[i])
 		}
 		for j := 0; j < i; j++ {
-			if row[j] != d[j][i] {
+			if row[j] != d[j][i] { //lint:allow floateq symmetry validation: entries must match bit-for-bit
 				return Matrix{}, fmt.Errorf("metric: asymmetric at (%d,%d): %g vs %g", i, j, row[j], d[j][i])
 			}
 			if row[j] < 0 {

@@ -1,5 +1,6 @@
 package metric
 
+//lint:file-allow floateq literal matrices store exact values and views must return them bit-for-bit
 import (
 	"math"
 	"math/rand"

@@ -83,12 +83,12 @@ func TestCSVRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(xs) != 2 || xs[0] != 100 || xs[1] != 200 {
+	if len(xs) != 2 || xs[0] != 100 || xs[1] != 200 { //lint:allow floateq x values pass through from the sweep unchanged
 		t.Errorf("xs = %v", xs)
 	}
 	for _, a := range s.Algorithms {
 		for i, pt := range s.Points {
-			if got, want := means[a][i], pt.Summary[a].Mean; got != want {
+			if got, want := means[a][i], pt.Summary[a].Mean; got != want { //lint:allow floateq plotted means pass through from the summary unchanged
 				t.Errorf("%s[%d] = %g, want %g", a, i, got, want)
 			}
 		}

@@ -60,7 +60,7 @@ func WriteSVG(w io.Writer, s experiment.Series, opt SVGOptions) error {
 			yMax = math.Max(yMax, p.Summary[a].Mean+p.Summary[a].CI95)
 		}
 	}
-	if xMax == xMin {
+	if xMax == xMin { //lint:allow floateq degenerate axis-range guard, exact by design
 		xMax = xMin + 1
 	}
 	if yMax == 0 {

@@ -28,7 +28,7 @@ func WriteTraceSVG(w io.Writer, trace []sim.TracePoint, title string) error {
 	plotW := float64(width - marginL - marginR)
 	plotH := float64(height - marginT - marginB)
 	tMin, tMax := trace[0].Time, trace[len(trace)-1].Time
-	if tMax == tMin {
+	if tMax == tMin { //lint:allow floateq degenerate axis-range guard, exact by design
 		tMax = tMin + 1
 	}
 	maxCost := 0.0

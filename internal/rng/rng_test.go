@@ -1,5 +1,6 @@
 package rng
 
+//lint:file-allow floateq stream determinism is the contract: equal seeds must give identical draws
 import (
 	"math"
 	"testing"

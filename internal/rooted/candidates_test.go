@@ -80,7 +80,7 @@ func TestCheapestInsertionMatchesScan(t *testing.T) {
 		for _, k := range []int{1, 4, 16, 119} {
 			nl := d.NearestLists(k)
 			gotPos, gotDelta := tsp.InsertionPoint(d, nl, verts, s, sc)
-			if gotPos != wantPos || gotDelta != wantDelta {
+			if gotPos != wantPos || gotDelta != wantDelta { //lint:allow floateq candidate-list search must match brute force bit-for-bit
 				t.Fatalf("trial %d k=%d: insertion (%d,%g), want (%d,%g)",
 					trial, k, gotPos, gotDelta, wantPos, wantDelta)
 			}

@@ -36,14 +36,27 @@ func clusterFirst(sp metric.Space, depots, sensors []int, opt Options) Solution 
 	f := MSF(sp, depots, sensors) // for the lower bound only
 	sol := Solution{ForestWeight: f.Weight}
 	groups := make(map[int][]int, len(depots))
-	for _, s := range sensors {
-		best, bd := -1, math.Inf(1)
-		for _, d := range depots {
-			if w := sp.Dist(s, d); w < bd {
-				best, bd = d, w
+	if dm, ok := metric.AsDense(sp); ok {
+		for _, s := range sensors {
+			row := dm.Row(s)
+			best, bd := -1, math.Inf(1)
+			for _, d := range depots {
+				if w := row[d]; w < bd {
+					best, bd = d, w
+				}
 			}
+			groups[best] = append(groups[best], s)
 		}
-		groups[best] = append(groups[best], s)
+	} else {
+		for _, s := range sensors {
+			best, bd := -1, math.Inf(1)
+			for _, d := range depots {
+				if w := sp.Dist(s, d); w < bd { //lint:allow hotdist non-Dense fallback twin of the row loop above
+					best, bd = d, w
+				}
+			}
+			groups[best] = append(groups[best], s)
+		}
 	}
 	for _, d := range depots {
 		t := Tour{Depot: d}

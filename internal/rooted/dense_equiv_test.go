@@ -27,7 +27,7 @@ func TestDenseAndEuclideanPathsAgree(t *testing.T) {
 		if !reflect.DeepEqual(fe.Parent, fd.Parent) {
 			t.Fatalf("trial %d: MSF parents differ between Euclidean and Dense", trial)
 		}
-		if fe.Weight != fd.Weight {
+		if fe.Weight != fd.Weight { //lint:allow floateq Dense MSF must agree with the interface path bit-for-bit
 			t.Fatalf("trial %d: MSF weight %v != %v", trial, fe.Weight, fd.Weight)
 		}
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/graph"
 	"repro/internal/metric"
 )
@@ -98,6 +99,8 @@ func (f Forest) treeFrom(off, kids []int, depot int) []int {
 // and sensor sets: every depot is a root, every sensor has a parent chain
 // terminating at exactly one depot, no cycles, and Weight matches the sum
 // of parent edges under sp.
+//
+//lint:allow hotdist validation path, one Dist per sensor, off the hot path
 func (f Forest) Validate(sp metric.Space, depots, sensors []int) error {
 	if len(f.Parent) != sp.Len() {
 		return fmt.Errorf("rooted: parent array has %d entries, space has %d", len(f.Parent), sp.Len())
@@ -193,7 +196,7 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 			}
 		} else {
 			for _, d := range depots {
-				if w := sp.Dist(s, d); w < bd {
+				if w := sp.Dist(s, d); w < bd { //lint:allow hotdist non-Dense fallback twin of the row loop above
 					best, bd = d, w
 				}
 			}
@@ -221,7 +224,16 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 			panic(fmt.Sprintf("rooted: sensor %d unparented by MST", s))
 		}
 	}
-	return Forest{Parent: parent, Depots: append([]int(nil), depots...), Weight: mst.Weight}
+	f := Forest{Parent: parent, Depots: append([]int(nil), depots...), Weight: mst.Weight}
+	if check.Enabled {
+		if err := check.Forest(f.Parent, depots, sensors); err != nil {
+			panic("rooted: MSF postcondition: " + err.Error())
+		}
+		if err := f.Validate(sp, depots, sensors); err != nil {
+			panic("rooted: MSF postcondition: " + err.Error())
+		}
+	}
+	return f
 }
 
 // primContractedDense is graph.PrimMST specialized to the depot-

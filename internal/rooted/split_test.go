@@ -86,7 +86,7 @@ func TestSplitToursUnreachableStop(t *testing.T) {
 
 func TestMaxTourCost(t *testing.T) {
 	s := Solution{Tours: []Tour{{Cost: 3}, {Cost: 7}, {Cost: 5}}}
-	if got := s.MaxTourCost(); got != 7 {
+	if got := s.MaxTourCost(); got != 7 { //lint:allow floateq max over stored literal costs is exact
 		t.Errorf("MaxTourCost = %g", got)
 	}
 	if got := (Solution{}).MaxTourCost(); got != 0 {

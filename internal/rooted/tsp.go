@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/graph"
 	"repro/internal/metric"
 	"repro/internal/tsp"
@@ -56,7 +57,7 @@ func (o Options) refineRounds() int {
 func (o Options) refine(sp metric.Space, tour []int) []int {
 	var t0 time.Time
 	if o.RefineNs != nil {
-		t0 = time.Now()
+		t0 = time.Now() //lint:allow walltime RefineNs diagnostic timing, never feeds results
 	}
 	rounds := o.refineRounds()
 	if d, ok := metric.AsDense(sp); ok && o.Neighbors != nil {
@@ -67,7 +68,7 @@ func (o Options) refine(sp metric.Space, tour []int) []int {
 		tour, _ = tsp.OrOpt(sp, tour, rounds)
 	}
 	if o.RefineNs != nil {
-		atomic.AddInt64(o.RefineNs, int64(time.Since(t0)))
+		atomic.AddInt64(o.RefineNs, int64(time.Since(t0))) //lint:allow walltime RefineNs diagnostic timing, never feeds results
 	}
 	return tour
 }
@@ -115,11 +116,24 @@ func (s Solution) Cost() float64 {
 // stops and zero cost, matching the paper's convention V(C_l) = {r_l},
 // w(C_l) = 0.
 func Tours(sp metric.Space, depots, sensors []int, opt Options) Solution {
+	var sol Solution
 	if opt.Method == MethodClusterFirst {
-		return clusterFirst(sp, depots, sensors, opt)
+		sol = clusterFirst(sp, depots, sensors, opt)
+	} else {
+		f := MSF(sp, depots, sensors)
+		sol = ToursFromForest(sp, f, opt)
 	}
-	f := MSF(sp, depots, sensors)
-	return ToursFromForest(sp, f, opt)
+	if check.Enabled {
+		for _, t := range sol.Tours {
+			if err := check.Tour(sp.Len(), t.Depot, t.Stops); err != nil {
+				panic("rooted: Tours postcondition: " + err.Error())
+			}
+		}
+		if err := sol.Validate(sp, depots, sensors); err != nil {
+			panic("rooted: Tours postcondition: " + err.Error())
+		}
+	}
+	return sol
 }
 
 // ToursFromForest converts an existing q-rooted forest into rooted closed

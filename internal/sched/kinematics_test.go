@@ -38,10 +38,10 @@ func TestCheckTimeScale(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Durations: 5 and 20. Gaps: 10 (10->20) and 80 (20->T).
-	if rep.MaxRoundDuration != 20 {
+	if math.Abs(rep.MaxRoundDuration-20) > 1e-12 {
 		t.Errorf("MaxRoundDuration = %g", rep.MaxRoundDuration)
 	}
-	if rep.MinGap != 10 {
+	if math.Abs(rep.MinGap-10) > 1e-12 {
 		t.Errorf("MinGap = %g", rep.MinGap)
 	}
 	if math.Abs(rep.WorstRatio-0.5) > 1e-12 { // 5/10 = 0.5 beats 20/80

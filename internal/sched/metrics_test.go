@@ -24,7 +24,7 @@ func TestFleetMetrics(t *testing.T) {
 		t.Fatalf("chargers = %d, want 2", len(fm.PerCharger))
 	}
 	c100 := fm.PerCharger[0]
-	if c100.Depot != 100 || c100.Distance != 40 || c100.Sorties != 2 || c100.SensorCharges != 3 {
+	if c100.Depot != 100 || math.Abs(c100.Distance-40) > 1e-12 || c100.Sorties != 2 || c100.SensorCharges != 3 {
 		t.Errorf("charger 100 = %+v", c100)
 	}
 	// total 60, max 40, mean 30 -> imbalance 4/3, share 2/3.

@@ -17,7 +17,7 @@ func TestRoundCostAndSensors(t *testing.T) {
 		tour(101, 0),
 		tour(102, 7.5, 2),
 	}}
-	if got := r.Cost(); got != 17.5 {
+	if got := r.Cost(); math.Abs(got-17.5) > 1e-12 {
 		t.Errorf("Cost = %g", got)
 	}
 	got := r.Sensors()
@@ -38,7 +38,7 @@ func TestScheduleCostAndDispatches(t *testing.T) {
 		{Time: 20, Tours: []rooted.Tour{tour(100, 0)}}, // empty round
 		{Time: 30, Tours: []rooted.Tour{tour(100, 3, 1)}},
 	}}
-	if s.Cost() != 8 {
+	if math.Abs(s.Cost()-8) > 1e-12 {
 		t.Errorf("Cost = %g", s.Cost())
 	}
 	if s.Dispatches() != 2 {
@@ -52,10 +52,10 @@ func TestChargeTimes(t *testing.T) {
 		{Time: 10, Tours: []rooted.Tour{tour(100, 1, 1)}},
 	}}
 	times := s.ChargeTimes(2)
-	if len(times[0]) != 1 || times[0][0] != 30 {
+	if len(times[0]) != 1 || times[0][0] != 30 { //lint:allow floateq charge times are recorded round times, exact
 		t.Errorf("sensor 0 times = %v", times[0])
 	}
-	if len(times[1]) != 2 || times[1][0] != 10 || times[1][1] != 30 {
+	if len(times[1]) != 2 || times[1][0] != 10 || times[1][1] != 30 { //lint:allow floateq charge times are recorded round times, exact
 		t.Errorf("sensor 1 times (sorted) = %v", times[1])
 	}
 	// Out-of-range IDs are ignored, not panicking.
@@ -138,7 +138,7 @@ func TestSummarize(t *testing.T) {
 		{Time: 20, Tours: []rooted.Tour{tour(100, 6, 2)}},
 	}}
 	st := s.Summarize()
-	if st.Cost != 10 || st.Rounds != 2 || st.Dispatches != 2 || st.SensorCharges != 3 {
+	if math.Abs(st.Cost-10) > 1e-12 || st.Rounds != 2 || st.Dispatches != 2 || st.SensorCharges != 3 {
 		t.Errorf("stats = %+v", st)
 	}
 	if math.Abs(st.MeanTourLen-5) > 1e-12 {

@@ -27,7 +27,7 @@ func TestReplayKeepsChargedSensorAlive(t *testing.T) {
 	if res.Deaths != 0 {
 		t.Errorf("deaths = %d", res.Deaths)
 	}
-	if res.Cost != 3 {
+	if math.Abs(res.Cost-3) > 1e-12 {
 		t.Errorf("cost = %g", res.Cost)
 	}
 	// Worst margin: gap 4 (t=6 to t=10) on a cycle-4 sensor => residual

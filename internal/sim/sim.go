@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/check"
 	"repro/internal/energy"
 	"repro/internal/metric"
 	"repro/internal/rooted"
@@ -179,7 +180,7 @@ func Run(net *wsn.Network, model energy.Model, policy Policy, cfg Config) (Resul
 		Net: net,
 		// Materialize short-circuits when the caller already passed a
 		// Dense, so the shared-space path does no O(n^2) copying here.
-		Space: metric.Materialize(space),
+		Space:    metric.Materialize(space),
 		Depots:   net.DepotIndices(),
 		Model:    model,
 		T:        cfg.T,
@@ -230,6 +231,15 @@ func Run(net *wsn.Network, model energy.Model, policy Policy, cfg Config) (Resul
 			if !active[tour.Depot] && len(tour.Stops) > 0 {
 				return Result{}, fmt.Errorf("sim: policy %s dispatched a tour from depot %d during its outage at t=%g",
 					policy.Name(), tour.Depot, t)
+			}
+		}
+		if check.Enabled {
+			// Structural validity of every dispatched tour: depot and
+			// stops inside the space, no sensor charged twice per tour.
+			for _, tour := range tours {
+				if err := check.Tour(env.Space.Len(), tour.Depot, tour.Stops); err != nil {
+					return Result{}, fmt.Errorf("sim: policy %s at t=%g: %w", policy.Name(), t, err)
+				}
 			}
 		}
 		for _, tour := range tours {

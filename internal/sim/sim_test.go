@@ -180,7 +180,7 @@ func (p *envProbe) Decide(env *Env, t float64) ([]rooted.Tour, error) {
 	if p.err != nil {
 		return nil, nil
 	}
-	if env.Now() != t {
+	if env.Now() != t { //lint:allow floateq the driver passes its own clock through exactly
 		p.err = fmt.Errorf("Now() = %g at t=%g", env.Now(), t)
 	}
 	for i := range env.Net.Sensors {
@@ -241,7 +241,7 @@ type residualRecorder struct {
 func (*residualRecorder) Name() string    { return "rec" }
 func (*residualRecorder) Init(*Env) error { return nil }
 func (r *residualRecorder) Decide(env *Env, t float64) ([]rooted.Tour, error) {
-	if t == r.probeAt {
+	if t == r.probeAt { //lint:allow floateq probe fires on the exact slot-grid time
 		r.value = env.Residual[0]
 	}
 	return nil, nil
@@ -299,7 +299,7 @@ type lateCharger struct {
 func (*lateCharger) Name() string    { return "late" }
 func (*lateCharger) Init(*Env) error { return nil }
 func (l *lateCharger) Decide(env *Env, t float64) ([]rooted.Tour, error) {
-	if t == l.at {
+	if t == l.at { //lint:allow floateq charger fires on the exact slot-grid time
 		return []rooted.Tour{{Depot: env.Depots[0], Stops: []int{0}}}, nil
 	}
 	if t > l.at && env.Residual[0] > 0 {

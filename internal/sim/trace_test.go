@@ -19,7 +19,7 @@ func TestTracerRecordsEveryEpoch(t *testing.T) {
 		t.Fatalf("trace has %d points, epochs %d", len(trace), res.Epochs)
 	}
 	for i, p := range trace {
-		if p.Time != float64(i+1) {
+		if p.Time != float64(i+1) { //lint:allow floateq trace records exact integer slot times
 			t.Fatalf("point %d at time %g", i, p.Time)
 		}
 		if p.Charged != 5 {

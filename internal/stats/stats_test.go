@@ -1,5 +1,6 @@
 package stats
 
+//lint:file-allow floateq inputs are chosen so the statistics are exactly representable; inexact cases already use tolerances
 import (
 	"math"
 	"testing"

@@ -1,6 +1,8 @@
 package tsp
 
 import (
+	"sort"
+
 	"repro/internal/graph"
 	"repro/internal/metric"
 )
@@ -15,6 +17,8 @@ import (
 // holds; with the greedy fallback the construction is heuristic but
 // still never exceeds the double-tree bound in practice. The returned
 // flag reports whether the matching was exact.
+//
+//lint:allow hotdist ablation construction, one Dist per tree/matching edge
 func ChristofidesTour(sp metric.Space, tree graph.Tree, root int) ([]int, bool) {
 	deg := make(map[int]int)
 	var edges []graph.Edge
@@ -35,7 +39,7 @@ func ChristofidesTour(sp metric.Space, tree graph.Tree, root int) ([]int, bool) 
 		}
 	}
 	// Deterministic order for the matching input.
-	sortInts(odd)
+	sort.Ints(odd)
 	pairs, _, exact, err := MinWeightMatching(sp, odd)
 	if err != nil {
 		// Odd-degree vertices of any graph come in pairs; an odd
@@ -51,12 +55,4 @@ func ChristofidesTour(sp metric.Space, tree graph.Tree, root int) ([]int, bool) 
 		panic("tsp: Christofides multigraph not Eulerian: " + err.Error())
 	}
 	return graph.Shortcut(walk), exact
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

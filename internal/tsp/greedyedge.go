@@ -14,6 +14,8 @@ import (
 // included for the tour-construction ablation.
 //
 // The returned tour is rotated so it starts at start.
+//
+//lint:allow hotdist ablation baseline, O(n^2) edge enumeration is inherent
 func GreedyEdge(sp metric.Space, start int) []int {
 	n := sp.Len()
 	if n == 0 {

@@ -18,6 +18,8 @@ const MaxHeldKarp = 20
 // the double-tree construction on small instances.
 //
 // It returns an error if sp has more than MaxHeldKarp vertices.
+//
+//lint:allow hotdist exact test-support solver, capped at MaxHeldKarp vertices
 func HeldKarp(sp metric.Space, start int) ([]int, float64, error) {
 	n := sp.Len()
 	if n > MaxHeldKarp {

@@ -39,6 +39,8 @@ func MinWeightMatching(sp metric.Space, verts []int) (pairs [][2]int, weight flo
 // exactMatching solves min-weight perfect matching by DP over subsets:
 // dp[S] = min cost to match the vertex set S (|S| even). The lowest set
 // bit is always matched first, so each state branches k ways.
+//
+//lint:allow hotdist exact matcher capped at MaxExactMatching vertices
 func exactMatching(sp metric.Space, verts []int) ([][2]int, float64) {
 	k := len(verts)
 	full := 1 << uint(k)
@@ -85,6 +87,8 @@ func lowestBit(s int) int {
 }
 
 // greedyMatching pairs the globally closest unmatched vertices first.
+//
+//lint:allow hotdist matching fallback on odd-degree sets, far off the hot path
 func greedyMatching(sp metric.Space, verts []int) ([][2]int, float64) {
 	k := len(verts)
 	type cand struct {

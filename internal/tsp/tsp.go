@@ -76,6 +76,8 @@ func Validate(sp metric.Space, tour []int, want []int) error {
 // from root, shortcut repeated vertices. Under the triangle inequality
 // the result costs at most twice the tree weight, hence at most twice the
 // optimal tour (Theorem 1 of the paper). The returned tour starts at root.
+//
+//lint:allow hotdist one Dist per tree edge; rooted.tourFromTree supplies the production path
 func DoubleTree(sp metric.Space, tree graph.Tree, root int) []int {
 	// Doubling the tree edges makes every degree even, so an Euler
 	// circuit exists; the shortcut pass keeps first occurrences only.

@@ -180,7 +180,7 @@ func (m RoutingModel) ApplyRates(nw *Network, res *RoutingResult, tauMin, tauMax
 		hi = math.Max(hi, raw[i])
 	}
 	for i := range raw {
-		if hi == lo {
+		if hi == lo { //lint:allow floateq degenerate-range guard, exact by design
 			nw.Sensors[i].Cycle = tauMin
 			continue
 		}

@@ -1,5 +1,6 @@
 package wsn
 
+//lint:file-allow floateq loads and rates are exact integer-valued sums by construction
 import (
 	"math"
 	"testing"

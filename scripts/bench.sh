@@ -31,6 +31,12 @@ capture() {
 case "${1:-}" in
 capture)
     [ $# -eq 2 ] || { echo "usage: $0 capture <label>" >&2; exit 2; }
+    # A baseline is a commitment; never record one from a tree that
+    # fails its own static analysis.
+    make lint >/dev/null || {
+        echo "refusing to record baseline: make lint failed" >&2
+        exit 1
+    }
     capture "BENCH_$2.json"
     ;;
 check)
