@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check-test bench-smoke bench-check profile check
+.PHONY: build vet lint test race check-test bench-smoke bench-check serve-smoke profile check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,11 @@ bench-smoke:
 # Full regression check against the committed baseline (slow).
 bench-check:
 	scripts/bench.sh check
+
+# End-to-end smoke of the serving layer: start chargerd, drive it with
+# a strict short load (non-2xx other than shed, or healthz flaps, fail).
+serve-smoke:
+	scripts/serve_smoke.sh
 
 # Profile one figure sweep (default fig5; override with PROFILE_FIG=6).
 # Inspect with `go tool pprof profiles/cpu.out` (or mem.out).

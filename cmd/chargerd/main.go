@@ -1,0 +1,89 @@
+// Command chargerd serves charger planning over HTTP: POST a topology
+// to /plan and get back the charging schedule the paper's algorithms
+// compute for it, with request batching (identical concurrent requests
+// coalesce onto one computation), an LRU plan cache keyed by a
+// canonical topology fingerprint, per-request deadlines, queue
+// backpressure with Retry-After shedding, and a stdlib /metrics
+// endpoint in Prometheus text format.
+//
+// Endpoints:
+//
+//	POST /plan     plan a topology (JSON in, JSON out; see internal/serve)
+//	GET  /healthz  liveness plus pool statistics
+//	GET  /metrics  request, queue, cache and latency metrics
+//
+// Example:
+//
+//	chargerd -addr :8080 -workers 4 &
+//	curl -s localhost:8080/plan -d '{"sensors":[{"x":100,"y":100,"cycle":3}],
+//	  "depots":[{"x":500,"y":500}],"t":20}'
+//
+// See README.md "Running the daemon" for a fuller walk-through and
+// cmd/loadgen for the matching load generator.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:8080", "listen address")
+		workers    = flag.Int("workers", 0, "planning workers (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "job queue depth (0 = 4x workers)")
+		cacheSize  = flag.Int("cache", 0, "plan cache entries (0 = 512, negative disables)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request planning deadline")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "chargerd: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		DefaultTimeout: *timeout,
+		RetryAfter:     *retryAfter,
+	})
+	hs := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv)}
+
+	done := make(chan error, 1)
+	go func() { done <- hs.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	fmt.Fprintf(os.Stderr, "chargerd: serving on %s (%d workers, algorithms: %s)\n",
+		*addr, srv.Workers(), strings.Join(serve.Algorithms(), ", "))
+
+	select {
+	case err := <-done:
+		// ListenAndServe only returns on failure (or Shutdown, which
+		// cannot have happened yet).
+		fmt.Fprintf(os.Stderr, "chargerd: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "chargerd: %v, draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "chargerd: shutdown: %v\n", err)
+	}
+	srv.Close()
+}

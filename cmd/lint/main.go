@@ -10,7 +10,9 @@
 // walking up from the working directory). Findings print as
 // file:line:col: check: message, one per line; the exit status is 1 when
 // there are findings, 2 on load/usage errors, 0 otherwise. Intentional
-// sites are annotated in the source with //lint:allow <check> <reason>.
+// sites are annotated in the source with //lint:allow <check> <reason>;
+// whole-package exemptions (the serving layer's walltime grant) live in
+// lint.DefaultPolicy.
 //
 // The "checks" build tag is on by default so the real runtime-invariant
 // implementations of internal/check are linted rather than their no-op
@@ -67,7 +69,7 @@ func main() {
 		fatal(err)
 	}
 
-	findings := lint.Run(pkgs, analyzers)
+	findings := lint.RunWithPolicy(pkgs, analyzers, lint.DefaultPolicy())
 	for _, f := range findings {
 		// Report paths relative to the module root for stable output.
 		pos := f.Pos

@@ -1,0 +1,272 @@
+// Command loadgen drives a running chargerd with a closed-loop workload
+// and reports throughput, latency percentiles, cache hit rate and shed
+// rate as benchfmt-style JSON (the same baseline shape cmd/bench
+// captures, plus a summary block), so serving performance can be
+// eyeballed or gated in CI.
+//
+// Each of -c workers loops until -d elapses: pick one of the -topologies
+// pre-encoded random topologies round-robin, POST it to /plan, classify
+// the response (ok/hit/join, shed, error) and record the latency. A
+// background prober polls /healthz throughout and counts flaps. With
+// -warmup (default) every distinct topology is planned once before
+// timing starts, so the steady state measures the cache.
+//
+// Example:
+//
+//	loadgen -url http://localhost:8080 -n 100 -q 5 -c 8 -d 5s
+//
+// Exit status under -strict is 1 when any request errored (non-2xx
+// other than shed), the health endpoint flapped, or an enabled
+// assertion (-min-rps, -max-p99-ms, -min-hitrate) failed.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/experiment"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/wsn"
+)
+
+type counts struct {
+	requests, ok, hits, joins, misses, shed, errs atomic.Int64
+}
+
+// summary is the human-facing half of the JSON report.
+type summary struct {
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        int64   `json:"requests"`
+	RPS             float64 `json:"rps"`
+	P50Ms           float64 `json:"p50_ms"`
+	P95Ms           float64 `json:"p95_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	HitRate         float64 `json:"hit_rate"`
+	ShedRate        float64 `json:"shed_rate"`
+	Errors          int64   `json:"errors"`
+	HealthzFlaps    int64   `json:"healthz_flaps"`
+}
+
+// output is the full report: a benchfmt baseline plus the summary.
+type output struct {
+	benchfmt.File
+	Summary summary `json:"summary"`
+}
+
+func main() {
+	var (
+		url        = flag.String("url", "http://localhost:8080", "chargerd base URL")
+		n          = flag.Int("n", 100, "sensors per topology")
+		q          = flag.Int("q", 5, "depots per topology")
+		topologies = flag.Int("topologies", 8, "distinct topologies rotated round-robin")
+		algo       = flag.String("algo", experiment.AlgoMTD, "algorithm to request")
+		period     = flag.Float64("t", 100, "monitoring period per request")
+		conc       = flag.Int("c", 8, "concurrent closed-loop workers")
+		dur        = flag.Duration("d", 5*time.Second, "measured load duration")
+		seed       = flag.Uint64("seed", 1, "topology generation seed")
+		warmup     = flag.Bool("warmup", true, "plan every topology once before timing")
+		strict     = flag.Bool("strict", false, "exit non-zero on errors, health flaps, or failed assertions")
+		minRPS     = flag.Float64("min-rps", 0, "assert at least this throughput (0 = off)")
+		maxP99     = flag.Float64("max-p99-ms", 0, "assert p99 latency at most this many ms (0 = off)")
+		minHit     = flag.Float64("min-hitrate", 0, "assert at least this cache hit rate (0 = off)")
+	)
+	flag.Parse()
+
+	bodies := makeBodies(*n, *q, *topologies, *algo, *period, *seed)
+	client := &http.Client{Timeout: 60 * time.Second}
+	planURL := *url + "/plan"
+
+	if *warmup {
+		for i, b := range bodies {
+			if _, _, err := post(client, planURL, b); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: warmup topology %d: %v\n", i, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	var c counts
+	stopProbe := make(chan struct{})
+	var probeWG sync.WaitGroup
+	probeWG.Add(1)
+	var flaps atomic.Int64
+	go func() {
+		defer probeWG.Done()
+		probe(client, *url+"/healthz", stopProbe, &flaps)
+	}()
+
+	deadline := time.Now().Add(*dur)
+	latencies := make([][]float64, *conc)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				body := bodies[int(next.Add(1))%len(bodies)]
+				start := time.Now()
+				status, cache, err := post(client, planURL, body)
+				elapsed := time.Since(start).Seconds()
+				c.requests.Add(1)
+				switch {
+				case err != nil:
+					c.errs.Add(1)
+				case status == http.StatusOK:
+					c.ok.Add(1)
+					latencies[w] = append(latencies[w], elapsed)
+					switch cache {
+					case "hit":
+						c.hits.Add(1)
+					case "join":
+						c.joins.Add(1)
+					default:
+						c.misses.Add(1)
+					}
+				case status == http.StatusServiceUnavailable:
+					c.shed.Add(1)
+				default:
+					c.errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0).Seconds()
+	close(stopProbe)
+	probeWG.Wait()
+
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	pcts := obs.Percentiles(all, 0.50, 0.95, 0.99)
+
+	sum := summary{
+		DurationSeconds: elapsed,
+		Requests:        c.requests.Load(),
+		Errors:          c.errs.Load(),
+		HealthzFlaps:    flaps.Load(),
+		P50Ms:           pcts[0] * 1e3,
+		P95Ms:           pcts[1] * 1e3,
+		P99Ms:           pcts[2] * 1e3,
+	}
+	if elapsed > 0 {
+		sum.RPS = float64(c.ok.Load()) / elapsed
+	}
+	if ok := c.ok.Load(); ok > 0 {
+		sum.HitRate = float64(c.hits.Load()) / float64(ok)
+	}
+	if req := c.requests.Load(); req > 0 {
+		sum.ShedRate = float64(c.shed.Load()) / float64(req)
+	}
+
+	tag := fmt.Sprintf("n=%d/q=%d/c=%d", *n, *q, *conc)
+	out := output{Summary: sum}
+	out.Pkg = "repro/cmd/loadgen"
+	out.Results = []benchfmt.Result{
+		{Name: "LoadgenPlanP50/" + tag, Runs: 1, Iterations: int(c.ok.Load()), NsPerOp: pcts[0] * 1e9},
+		{Name: "LoadgenPlanP95/" + tag, Runs: 1, Iterations: int(c.ok.Load()), NsPerOp: pcts[1] * 1e9},
+		{Name: "LoadgenPlanP99/" + tag, Runs: 1, Iterations: int(c.ok.Load()), NsPerOp: pcts[2] * 1e9},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if !*strict {
+		return
+	}
+	fail := false
+	check := func(bad bool, format string, args ...any) {
+		if bad {
+			fail = true
+			fmt.Fprintf(os.Stderr, "loadgen: FAIL: "+format+"\n", args...)
+		}
+	}
+	check(sum.Errors > 0, "%d request(s) failed with a non-2xx status other than shed", sum.Errors)
+	check(sum.HealthzFlaps > 0, "/healthz flapped %d time(s) under load", sum.HealthzFlaps)
+	check(sum.Requests == 0, "no requests completed")
+	check(*minRPS > 0 && sum.RPS < *minRPS, "throughput %.1f req/s below the %.1f floor", sum.RPS, *minRPS)
+	check(*maxP99 > 0 && sum.P99Ms > *maxP99, "p99 %.1f ms above the %.1f ms ceiling", sum.P99Ms, *maxP99)
+	check(*minHit > 0 && sum.HitRate < *minHit, "cache hit rate %.3f below the %.3f floor", sum.HitRate, *minHit)
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// makeBodies pre-encodes the workload's distinct topologies.
+func makeBodies(n, q, topologies int, algo string, period float64, seed uint64) [][]byte {
+	if topologies < 1 {
+		topologies = 1
+	}
+	bodies := make([][]byte, 0, topologies)
+	for i := 0; i < topologies; i++ {
+		net, err := wsn.Generate(rng.New(seed+uint64(i)), wsn.GenConfig{
+			N: n, Q: q, Dist: wsn.LinearDist{TauMin: 1, TauMax: 50, Sigma: 2},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		body, err := json.Marshal(serve.NewRequest(net, algo, period))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies
+}
+
+// post sends one plan request and returns the status plus the
+// X-Chargerd-Cache header.
+func post(client *http.Client, url string, body []byte) (int, string, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return resp.StatusCode, "", err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Chargerd-Cache"), nil
+}
+
+// probe polls healthz until stopped, counting non-200s and transport
+// errors as flaps.
+func probe(client *http.Client, url string, stop <-chan struct{}, flaps *atomic.Int64) {
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			resp, err := client.Get(url)
+			if err != nil {
+				flaps.Add(1)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				flaps.Add(1)
+			}
+		}
+	}
+}

@@ -181,6 +181,20 @@ func PrepareInto(p Params, ws *Scratch) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	return PrepareNetInto(net, ws), nil
+}
+
+// PrepareNet wraps an already-built network — one that did not come from
+// Params.Network, e.g. a topology decoded from a serving request — in a
+// Prepared, materializing its dense distance matrix.
+func PrepareNet(net *wsn.Network) *Prepared { return PrepareNetInto(net, nil) }
+
+// PrepareNetInto is PrepareNet with an optional worker arena: the dense
+// matrix, and lazily the candidate lists, are rebuilt into ws's reused
+// storage, so a worker that plans topology after topology (a sweep cell
+// or a serving request) allocates nothing in steady state. The returned
+// Prepared is only valid until ws's next PrepareInto/PrepareNetInto.
+func PrepareNetInto(net *wsn.Network, ws *Scratch) *Prepared {
 	pr := &Prepared{Net: net, scratch: ws}
 	if ws == nil {
 		pr.Space = metric.Materialize(net.Space())
@@ -188,7 +202,7 @@ func PrepareInto(p Params, ws *Scratch) (*Prepared, error) {
 		metric.MaterializeInto(net.Space(), &ws.space)
 		pr.Space = ws.space
 	}
-	return pr, nil
+	return pr
 }
 
 // Lists returns the cell's shared k-nearest-neighbor candidate lists,
@@ -207,14 +221,16 @@ func (pr *Prepared) Lists() *metric.NearestLists {
 	return pr.lists
 }
 
-// tourOptions wires the cell's shared candidate lists, the worker's
+// TourOptions wires the cell's shared candidate lists, the worker's
 // scratch arena, and the refinement timer into a rooted.Options. The
 // lists are only attached when the options actually refine — they are
 // what uses them, and building k-NN lists for a construction-only
 // algorithm would cost O(n²) for nothing. (MethodClusterFirst builds
 // its own per-group lists over flattened subspaces; see
-// rooted/clusterfirst.go.)
-func (pr *Prepared) tourOptions(opt *rooted.Options, refineNs *int64) {
+// rooted/clusterfirst.go.) Exposed so external planning layers —
+// internal/serve's worker pool — reuse the same arena wiring as the
+// sweep harness.
+func (pr *Prepared) TourOptions(opt *rooted.Options, refineNs *int64) {
 	if opt.Refine {
 		opt.Neighbors = pr.Lists()
 	}
@@ -283,7 +299,7 @@ func runFixed(algo string, p Params, pr *Prepared, dt float64) (Outcome, error) 
 		case AlgoMTDChristo:
 			opt.Rooted.Method = rooted.MethodChristofides
 		}
-		pr.tourOptions(&opt.Rooted, &refineNs)
+		pr.TourOptions(&opt.Rooted, &refineNs)
 		t0 := time.Now() //lint:allow walltime PlanMillis diagnostic timing
 		plan, err := core.PlanFixed(net, p.T, opt)
 		planMillis := millis(time.Since(t0)) //lint:allow walltime PlanMillis diagnostic timing
@@ -302,7 +318,7 @@ func runFixed(algo string, p Params, pr *Prepared, dt float64) (Outcome, error) 
 		}, nil
 	case AlgoGreedy:
 		pol := &core.Greedy{Rooted: p.Rooted}
-		pr.tourOptions(&pol.Rooted, &refineNs)
+		pr.TourOptions(&pol.Rooted, &refineNs)
 		res, err := sim.Run(net, energy.NewFixed(net), pol,
 			sim.Config{T: p.T, Dt: dt, Space: space})
 		if err != nil {
@@ -336,7 +352,7 @@ func runQRooted(algo string, pr *Prepared) (Outcome, error) {
 	case AlgoQRootedApprox, AlgoQRootedRefined:
 		opt := rooted.Options{Refine: algo == AlgoQRootedRefined}
 		var refineNs int64
-		pr.tourOptions(&opt, &refineNs)
+		pr.TourOptions(&opt, &refineNs)
 		t0 := time.Now() //lint:allow walltime PlanMillis diagnostic timing
 		sol := rooted.Tours(space, depots, sensors, opt)
 		return Outcome{
@@ -368,7 +384,7 @@ func runVariable(algo string, p Params, pr *Prepared, dt float64) (Outcome, erro
 		pol := core.NewVar(p.Rooted)
 		pol.NoLifetimeGuard = algo == AlgoMTDVarNoGuard
 		pol.UpdateThreshold = p.UpdateThreshold
-		pr.tourOptions(&pol.Rooted, &refineNs)
+		pr.TourOptions(&pol.Rooted, &refineNs)
 		res, err := sim.Run(net, model, pol, sim.Config{T: p.T, Dt: dt, Gamma: p.Gamma, Space: space})
 		if err != nil {
 			return Outcome{}, err
@@ -381,7 +397,7 @@ func runVariable(algo string, p Params, pr *Prepared, dt float64) (Outcome, erro
 		}, nil
 	case AlgoGreedy:
 		pol := &core.Greedy{Rooted: p.Rooted}
-		pr.tourOptions(&pol.Rooted, &refineNs)
+		pr.TourOptions(&pol.Rooted, &refineNs)
 		res, err := sim.Run(net, model, pol,
 			sim.Config{T: p.T, Dt: dt, Gamma: p.Gamma, Space: space})
 		if err != nil {
@@ -405,7 +421,7 @@ func runChargeAll(p Params, pr *Prepared) (Outcome, error) {
 	net := pr.Net
 	opt := p.Rooted
 	var refineNs int64
-	pr.tourOptions(&opt, &refineNs)
+	pr.TourOptions(&opt, &refineNs)
 	t0 := time.Now() //lint:allow walltime PlanMillis diagnostic timing
 	sol := rooted.Tours(pr.Space, net.DepotIndices(), net.SensorIndices(), opt)
 	planMillis := millis(time.Since(t0)) //lint:allow walltime PlanMillis diagnostic timing

@@ -86,7 +86,7 @@ type Analyzer struct {
 // fixture tests and by cmd/lint invocations that must reproduce a
 // finding regardless of the production scopes.
 func (a *Analyzer) Applies(path string) bool {
-	if strings.Contains(path, "/testdata/") {
+	if isTestdataPath(path) {
 		return true
 	}
 	if matchesAny(path, a.Exclude) {
@@ -94,6 +94,10 @@ func (a *Analyzer) Applies(path string) bool {
 	}
 	return a.Scope == nil || matchesAny(path, a.Scope)
 }
+
+// isTestdataPath reports whether the import path lies under a testdata
+// directory (lint fixtures).
+func isTestdataPath(path string) bool { return strings.Contains(path, "/testdata/") }
 
 func matchesAny(path string, prefixes []string) bool {
 	for _, p := range prefixes {
@@ -119,13 +123,22 @@ func (a *Analyzer) files(p *Package) []*ast.File {
 }
 
 // Run applies every analyzer to every package it covers, drops
-// suppressed findings, and returns the rest sorted by position.
+// suppressed findings, and returns the rest sorted by position. It runs
+// with no package policy; the production driver uses RunWithPolicy and
+// DefaultPolicy.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return RunWithPolicy(pkgs, analyzers, nil)
+}
+
+// RunWithPolicy is Run with package-level grants applied: a package the
+// policy exempts from a check is skipped for that check entirely,
+// before per-line //lint:allow processing. A nil policy grants nothing.
+func RunWithPolicy(pkgs []*Package, analyzers []*Analyzer, policy *PackagePolicy) []Finding {
 	var out []Finding
 	for _, p := range pkgs {
 		var idx *allowIndex
 		for _, a := range analyzers {
-			if !a.Applies(p.Path) {
+			if !a.Applies(p.Path) || policy.Allows(a.Name, p.Path) {
 				continue
 			}
 			fs := a.run(a, p)
@@ -179,6 +192,14 @@ func Analyzers() []*Analyzer {
 		"repro/internal/tsp",
 		"repro/internal/wsn",
 	}
+	// Serving packages: walltime nominally covers them so the exemption
+	// is an explicit DefaultPolicy grant rather than a silent scope gap.
+	serving := []string{
+		"repro/internal/serve",
+		"repro/internal/obs",
+		"repro/cmd/chargerd",
+		"repro/cmd/loadgen",
+	}
 	hot := []string{
 		"repro/internal/core",
 		"repro/internal/rooted",
@@ -188,7 +209,7 @@ func Analyzers() []*Analyzer {
 		{
 			Name:  "walltime",
 			Doc:   "no wall-clock reads (time.Now/Since/Until) in algorithm packages",
-			Scope: algo,
+			Scope: append(append([]string{}, algo...), serving...),
 			run:   runWalltime,
 		},
 		{

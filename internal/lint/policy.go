@@ -1,0 +1,51 @@
+package lint
+
+// PackagePolicy grants whole packages an exemption from specific
+// checks — the package-level counterpart of a per-line //lint:allow
+// directive. It exists for the serving layer: internal/serve,
+// internal/obs and the daemon binaries measure latency and uptime as
+// their core job, so a walltime annotation on every time.Now would be
+// pure noise; the policy records the exemption once, in a reviewable
+// place, instead of scattering it across call sites.
+//
+// Grants use the same prefix matching as Analyzer.Scope: a grant for
+// "repro/internal/serve" covers the package and everything below it.
+// Packages under testdata are never covered — fixtures must keep
+// reproducing their findings regardless of production policy.
+type PackagePolicy struct {
+	grants map[string][]string // check -> granted package prefixes
+}
+
+// NewPolicy returns an empty policy (no grants).
+func NewPolicy() *PackagePolicy {
+	return &PackagePolicy{grants: map[string][]string{}}
+}
+
+// Grant exempts the packages (prefix-matched) from the named check and
+// returns the policy for chaining.
+func (p *PackagePolicy) Grant(check string, pkgs ...string) *PackagePolicy {
+	p.grants[check] = append(p.grants[check], pkgs...)
+	return p
+}
+
+// Allows reports whether the policy exempts pkg from check. A nil
+// policy allows nothing, and testdata packages are never exempt.
+func (p *PackagePolicy) Allows(check, pkg string) bool {
+	if p == nil || isTestdataPath(pkg) {
+		return false
+	}
+	return matchesAny(pkg, p.grants[check])
+}
+
+// DefaultPolicy is the repo's production policy: the serving layer
+// (serve, obs, chargerd, loadgen) reads wall clocks by design —
+// latency histograms, deadlines, uptime — so walltime is granted
+// package-wide there. Everything else still needs per-line directives.
+func DefaultPolicy() *PackagePolicy {
+	return NewPolicy().Grant("walltime",
+		"repro/internal/serve",
+		"repro/internal/obs",
+		"repro/cmd/chargerd",
+		"repro/cmd/loadgen",
+	)
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPolicyAllows pins the grant semantics: prefix matching at path
+// boundaries, nil safety, and the testdata refusal that keeps fixtures
+// reproducing their findings under any policy.
+func TestPolicyAllows(t *testing.T) {
+	p := NewPolicy().Grant("walltime", "repro/internal/serve")
+	cases := []struct {
+		check, pkg string
+		want       bool
+	}{
+		{"walltime", "repro/internal/serve", true},
+		{"walltime", "repro/internal/serve/sub", true},
+		{"walltime", "repro/internal/serves", false}, // boundary, not substring
+		{"walltime", "repro/internal/core", false},
+		{"floateq", "repro/internal/serve", false}, // ungranted check
+		{"walltime", "repro/internal/lint/testdata/src/servepolicy", false}, // testdata never exempt
+	}
+	for _, c := range cases {
+		if got := p.Allows(c.check, c.pkg); got != c.want {
+			t.Errorf("Allows(%q, %q) = %v, want %v", c.check, c.pkg, got, c.want)
+		}
+	}
+	var nilPolicy *PackagePolicy
+	if nilPolicy.Allows("walltime", "repro/internal/serve") {
+		t.Error("nil policy must allow nothing")
+	}
+}
+
+// TestDefaultPolicyGrants pins which packages the production policy
+// exempts, and from what.
+func TestDefaultPolicyGrants(t *testing.T) {
+	p := DefaultPolicy()
+	for _, pkg := range []string{
+		"repro/internal/serve", "repro/internal/obs",
+		"repro/cmd/chargerd", "repro/cmd/loadgen",
+	} {
+		if !p.Allows("walltime", pkg) {
+			t.Errorf("DefaultPolicy must grant walltime to %s", pkg)
+		}
+		if p.Allows("floateq", pkg) {
+			t.Errorf("DefaultPolicy must not grant floateq to %s", pkg)
+		}
+	}
+	if p.Allows("walltime", "repro/internal/core") {
+		t.Error("DefaultPolicy must not grant walltime to algorithm packages")
+	}
+}
+
+// TestPolicyGrantSilencesWalltime runs the suite over the real serving
+// package — which reads wall clocks as its job — without and with the
+// production policy. Ungoverned, walltime must fire there (the scope
+// deliberately covers serving packages); governed, it must be silent
+// with no per-line annotations, while the servepolicy fixture keeps
+// firing because testdata is never policy-exempt.
+func TestPolicyGrantSilencesWalltime(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("internal/serve", "internal/lint/testdata/src/servepolicy")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	count := func(findings []Finding, check, pathPart string) int {
+		n := 0
+		for _, f := range findings {
+			if f.Check == check && strings.Contains(f.Pos.Filename, pathPart) {
+				n++
+			}
+		}
+		return n
+	}
+
+	bare := RunWithPolicy(pkgs, Analyzers(), nil)
+	if count(bare, "walltime", "internal/serve") == 0 {
+		t.Error("without a policy, walltime must fire in internal/serve (it reads wall clocks by design)")
+	}
+	if count(bare, "walltime", "servepolicy") == 0 || count(bare, "floateq", "servepolicy") == 0 {
+		t.Error("fixture must report both its seeded findings under a nil policy")
+	}
+
+	governed := RunWithPolicy(pkgs, Analyzers(), DefaultPolicy())
+	if n := count(governed, "walltime", "internal/serve"); n != 0 {
+		t.Errorf("DefaultPolicy must silence walltime in internal/serve, still got %d finding(s)", n)
+	}
+	if count(governed, "walltime", "servepolicy") == 0 {
+		t.Error("testdata must stay exempt from policy grants (fixture finding vanished)")
+	}
+
+	// Even granting the fixture path explicitly must not exempt it.
+	forced := RunWithPolicy(pkgs, Analyzers(),
+		NewPolicy().Grant("walltime", "repro/internal/lint/testdata/src/servepolicy"))
+	if count(forced, "walltime", "servepolicy") == 0 {
+		t.Error("an explicit grant on a testdata path must be refused")
+	}
+}

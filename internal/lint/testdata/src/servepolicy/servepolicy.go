@@ -1,0 +1,20 @@
+// Package servepolicy seeds the package-policy fixture: a wall-clock
+// read and an exact float comparison in one file. Fixture packages are
+// never policy-exempt (testdata always applies), so plain Run reports
+// both sites; TestPolicyGrant then shows a walltime grant silencing the
+// first while floateq — ungranted — still fires.
+package servepolicy
+
+import "time"
+
+// Uptime reads the wall clock the way a serving package legitimately
+// would; under a walltime grant this line is clean.
+func Uptime(start time.Time) float64 {
+	return time.Since(start).Seconds() // want:walltime
+}
+
+// Warm does an exact float comparison that no policy in this repo
+// grants; it must keep firing even when walltime is granted.
+func Warm(elapsed float64) bool {
+	return elapsed == 0.5 // want:floateq
+}

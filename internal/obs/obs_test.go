@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func TestRegistryText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_last", "sorted last").Add(3)
+	reg.Gauge("a_first", "sorted first").Set(-2)
+	v := reg.CounterVec("reqs_total", "outcome", "by outcome")
+	v.With("ok").Add(5)
+	v.With("shed").Inc()
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP a_first sorted first
+# TYPE a_first gauge
+a_first -2
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 3.55
+lat_seconds_count 3
+# HELP reqs_total by outcome
+# TYPE reqs_total counter
+reqs_total{outcome="ok"} 5
+reqs_total{outcome="shed"} 1
+# HELP z_last sorted last
+# TYPE z_last counter
+z_last 3
+`
+	if got != want {
+		t.Errorf("WriteText output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryIdempotentAndTypeSafe(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("c", "")
+	c2 := reg.Counter("c", "")
+	if c1 != c2 {
+		t.Error("same-name Counter registration must return the same object")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter name as a gauge must panic")
+		}
+	}()
+	reg.Gauge("c", "")
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h", "", []float64{1, 2, 4})
+	v := reg.CounterVec("v", "k", "")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(1.5)
+				v.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	approx(t, "histogram sum", h.Sum(), 1.5*workers*per, 1e-6)
+	if got := v.Value("a"); got != workers*per {
+		t.Errorf("vec counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestTracerSpans(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, "chargerd")
+	sp := tr.Start("plan")
+	sp.Phase("refine", 3*time.Millisecond)
+	d := sp.End()
+	if d < 0 {
+		t.Errorf("span duration negative: %v", d)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE chargerd_plan_seconds histogram",
+		"# TYPE chargerd_plan_refine_seconds histogram",
+		"chargerd_plan_seconds_count 1",
+		"chargerd_plan_refine_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	approx(t, "refine phase sum", tr.hist("plan_refine_seconds").Sum(), 0.003, 1e-9)
+}
+
+func TestPercentiles(t *testing.T) {
+	if got := Percentiles(nil, 0.5); got != nil {
+		t.Errorf("Percentiles(nil) = %v, want nil", got)
+	}
+	// 0..100 → quantiles are exact order statistics.
+	samples := make([]float64, 101)
+	for i := range samples {
+		samples[100-i] = float64(i)
+	}
+	ps := Percentiles(samples, 0, 0.5, 0.95, 0.99, 1)
+	for i, want := range []float64{0, 50, 95, 99, 100} {
+		approx(t, "quantile", ps[i], want, 1e-12)
+	}
+	// Interpolation between two samples.
+	ps = Percentiles([]float64{10, 20}, 0.25)
+	approx(t, "interpolated quantile", ps[0], 12.5, 1e-12)
+}

@@ -1,0 +1,37 @@
+package obs
+
+import "sort"
+
+// Percentiles returns the given quantiles (each in [0, 1]) of samples,
+// computed exactly by sorting a copy and linearly interpolating between
+// order statistics — the estimator cmd/loadgen reports p50/p95/p99
+// with. Returns nil when samples is empty.
+func Percentiles(samples []float64, qs ...float64) []float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+// quantileSorted interpolates the q-quantile of an ascending slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}

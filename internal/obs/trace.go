@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer hands out lightweight spans whose durations land in latency
+// histograms: span "plan" records into <prefix>_plan_seconds, and a
+// phase "refine" inside it into <prefix>_plan_refine_seconds. This is
+// the serving-layer wrapper around the planners' PlanNs/RefineNs phase
+// accounting — the planner reports nanoseconds, the tracer turns them
+// into histogram series with stable names.
+//
+// Spans are deliberately minimal: no IDs, no parent links, no exporters
+// — just named timed sections feeding the registry. A Tracer is safe
+// for concurrent use.
+type Tracer struct {
+	reg     *Registry
+	prefix  string
+	buckets []float64
+
+	mu    sync.Mutex
+	hists map[string]*Histogram
+}
+
+// NewTracer returns a tracer recording into reg under the given metric
+// name prefix, using DefLatencyBuckets for every histogram.
+func NewTracer(reg *Registry, prefix string) *Tracer {
+	return &Tracer{reg: reg, prefix: prefix, hists: map[string]*Histogram{}}
+}
+
+// hist returns the tracer's histogram for a metric suffix, registering
+// it on first use.
+func (t *Tracer) hist(suffix string) *Histogram {
+	name := t.prefix + "_" + suffix
+	t.mu.Lock()
+	h, ok := t.hists[name]
+	t.mu.Unlock()
+	if ok {
+		return h
+	}
+	h = t.reg.Histogram(name, "span duration in seconds", t.buckets)
+	t.mu.Lock()
+	t.hists[name] = h
+	t.mu.Unlock()
+	return h
+}
+
+// Span is one named timed section. Create with Tracer.Start, close with
+// End; attach sub-phase durations with Phase.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// Start opens a span; its duration is recorded into
+// <prefix>_<name>_seconds when End is called.
+func (t *Tracer) Start(name string) *Span {
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// Phase records a sub-phase duration measured by the instrumented code
+// itself (e.g. the planner's RefineNs) into
+// <prefix>_<span>_<phase>_seconds.
+func (s *Span) Phase(phase string, d time.Duration) {
+	s.t.hist(s.name + "_" + phase + "_seconds").Observe(d.Seconds())
+}
+
+// End closes the span, records its duration and returns it.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.t.hist(s.name + "_seconds").Observe(d.Seconds())
+	return d
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/wsn"
+)
+
+// cacheKey identifies one plan computation: the topology fingerprint
+// plus every parameter that changes the output. The fingerprint is a
+// hash, so a key match is only a hint; entries additionally carry the
+// topology and get confirms it with wsn.Network.Equal before serving —
+// a collision (or an order-permuted topology with the same multiset
+// fingerprint) degrades to a miss, never to a wrong plan.
+type cacheKey struct {
+	fp   uint64
+	algo string
+	t    float64
+	base float64
+}
+
+// keyFor builds the cache/coalescing key of a parsed request.
+func keyFor(req *PlanRequest) cacheKey {
+	return cacheKey{fp: req.Fingerprint(), algo: req.Algorithm, t: req.T, base: req.Base}
+}
+
+// planCache is a mutex-guarded LRU of encoded plan responses.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	by  map[cacheKey]*list.Element
+}
+
+// cacheEntry is one cached plan: the confirming topology plus the
+// canonical response bytes.
+type cacheEntry struct {
+	key  cacheKey
+	net  *wsn.Network
+	body []byte
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), by: map[cacheKey]*list.Element{}}
+}
+
+// get returns the cached body for (key, net) and promotes the entry.
+// The body is shared read-only bytes; callers must not mutate it.
+func (c *planCache) get(key cacheKey, net *wsn.Network) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.by[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if !ent.net.Equal(net) {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return ent.body, true
+}
+
+// put stores a computed plan, evicting the least recently used entry
+// when full. An existing entry under the same key is replaced.
+func (c *planCache) put(key cacheKey, net *wsn.Network, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.by[key]; ok {
+		el.Value = &cacheEntry{key: key, net: net, body: body}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.by[key] = c.ll.PushFront(&cacheEntry{key: key, net: net, body: body})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.by, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

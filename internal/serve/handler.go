@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// errorBody is the JSON body of every non-2xx chargerd response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// healthBody is the GET /healthz response.
+type healthBody struct {
+	Status        string  `json:"status"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// NewHandler routes the chargerd HTTP API onto s:
+//
+//	POST /plan     — plan a topology (JSON in, JSON out)
+//	GET  /healthz  — liveness plus pool stats
+//	GET  /metrics  — Prometheus text exposition of the serving metrics
+//
+// Successful /plan responses carry an X-Chargerd-Cache header (hit,
+// miss or join) so clients and the load generator can observe cache
+// behaviour without the body depending on it.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /plan", func(w http.ResponseWriter, r *http.Request) {
+		handlePlan(s, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthBody{
+			Status:        "ok",
+			Workers:       s.Workers(),
+			QueueDepth:    s.QueueDepth(),
+			UptimeSeconds: s.Uptime().Seconds(),
+		})
+	})
+	mux.Handle("GET /metrics", s.Metrics().Registry().Handler())
+	return mux
+}
+
+// handlePlan decodes, plans and encodes one POST /plan exchange,
+// mapping serve errors to HTTP statuses:
+//
+//	malformed request        → 400
+//	queue full (shed)        → 503 + Retry-After
+//	deadline exceeded        → 504
+//	caller canceled          → 408
+//	planner failure          → 500
+func handlePlan(s *Server, w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.Metrics().RequestLatency.Observe(time.Since(t0).Seconds()) }()
+
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	data, err := readAll(r)
+	if err != nil {
+		s.Metrics().Requests.With(OutcomeError).Inc()
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	req, err := ParseRequest(data)
+	if err != nil {
+		s.Metrics().Requests.With(OutcomeError).Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	timeout := s.DefaultTimeout()
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	res, err := s.Submit(ctx, req)
+	if err != nil {
+		var reqErr *RequestError
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter().Seconds()+0.5)))
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "plan deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusRequestTimeout, "request canceled")
+		case errors.As(err, &reqErr):
+			writeError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+
+	switch {
+	case res.CacheHit:
+		w.Header().Set("X-Chargerd-Cache", "hit")
+	case res.Coalesced:
+		w.Header().Set("X-Chargerd-Cache", "join")
+	default:
+		w.Header().Set("X-Chargerd-Cache", "miss")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(res.Body)
+}
+
+// readAll drains the (size-capped) request body.
+func readAll(r *http.Request) ([]byte, error) {
+	defer func() { _ = r.Body.Close() }()
+	return io.ReadAll(r.Body)
+}
+
+// writeError sends a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// writeJSON marshals v with a status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	_, _ = w.Write(b)
+}

@@ -1,0 +1,66 @@
+package serve
+
+import "repro/internal/obs"
+
+// Request outcomes, the label values of chargerd_requests_total.
+const (
+	// OutcomeOK is a served plan (fresh, cached, or coalesced).
+	OutcomeOK = "ok"
+	// OutcomeShed is a request rejected by queue backpressure.
+	OutcomeShed = "shed"
+	// OutcomeTimeout is a request whose deadline expired before its
+	// plan completed.
+	OutcomeTimeout = "timeout"
+	// OutcomeCanceled is a request whose caller went away.
+	OutcomeCanceled = "canceled"
+	// OutcomeError is a planning failure or a malformed request.
+	OutcomeError = "error"
+)
+
+// Metrics bundles the serving layer's instruments over one
+// obs.Registry. Metric names and units are documented in DESIGN.md §11.
+type Metrics struct {
+	reg *obs.Registry
+	// Requests counts finished requests by outcome
+	// (chargerd_requests_total{outcome=...}).
+	Requests *obs.CounterVec
+	// QueueDepth is the number of jobs waiting for a worker
+	// (chargerd_queue_depth).
+	QueueDepth *obs.Gauge
+	// CacheHits and CacheMisses count plan-cache lookups
+	// (chargerd_cache_{hits,misses}_total).
+	CacheHits   *obs.Counter
+	CacheMisses *obs.Counter
+	// Coalesced counts requests served by joining an identical
+	// in-flight computation (chargerd_coalesced_total).
+	Coalesced *obs.Counter
+	// RequestLatency is end-to-end POST /plan latency in seconds,
+	// queueing included (chargerd_request_seconds).
+	RequestLatency *obs.Histogram
+	// Tracer times the planning spans: chargerd_plan_seconds and its
+	// chargerd_plan_refine_seconds sub-phase, wrapping the planners'
+	// RefineNs accounting.
+	Tracer *obs.Tracer
+}
+
+// NewMetrics registers the serving metrics on reg (a nil reg gets a
+// fresh registry).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		reg:         reg,
+		Requests:    reg.CounterVec("chargerd_requests_total", "outcome", "finished plan requests by outcome"),
+		QueueDepth:  reg.Gauge("chargerd_queue_depth", "plan jobs queued for a worker"),
+		CacheHits:   reg.Counter("chargerd_cache_hits_total", "plan cache hits"),
+		CacheMisses: reg.Counter("chargerd_cache_misses_total", "plan cache misses"),
+		Coalesced:   reg.Counter("chargerd_coalesced_total", "requests joined onto an identical in-flight plan"),
+		RequestLatency: reg.Histogram("chargerd_request_seconds",
+			"end-to-end request latency in seconds", nil),
+		Tracer: obs.NewTracer(reg, "chargerd"),
+	}
+}
+
+// Registry returns the underlying registry (the /metrics payload).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }

@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/experiment"
+	"repro/internal/geom"
+	"repro/internal/wsn"
+)
+
+// Decoder limits: they bound the CPU and memory one request can demand
+// before any planning starts, so a malformed or hostile payload is
+// rejected in the decoder, not in the worker pool.
+const (
+	// MaxSensors caps the sensors per request.
+	MaxSensors = 5000
+	// MaxDepots caps the depots per request.
+	MaxDepots = 64
+	// MaxRounds caps T / min-cycle, the number of dispatch rounds a
+	// schedule response may contain.
+	MaxRounds = 10000
+	// MaxBodyBytes caps the /plan request body size.
+	MaxBodyBytes = 16 << 20
+)
+
+// PointJSON is a planar coordinate in a request or response.
+type PointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// RectJSON is an axis-aligned rectangle in a request.
+type RectJSON struct {
+	Min PointJSON `json:"min"`
+	Max PointJSON `json:"max"`
+}
+
+// SensorJSON is one sensor in a /plan request. ID is optional: when any
+// sensor carries an ID, all must, and together they must form a
+// permutation of 0..n-1 (sensors are then canonically reordered by ID).
+// Capacity defaults to 1 (the paper's unit batteries).
+type SensorJSON struct {
+	ID       *int    `json:"id,omitempty"`
+	X        float64 `json:"x"`
+	Y        float64 `json:"y"`
+	Capacity float64 `json:"capacity,omitempty"`
+	Cycle    float64 `json:"cycle"`
+}
+
+// PlanRequest is the decoded body of POST /plan: a topology plus the
+// algorithm and monitoring period to plan for. Build one with
+// ParseRequest (servers) or NewRequest (clients, tests, loadgen).
+type PlanRequest struct {
+	// Algorithm is one of Algorithms(); empty means MinTotalDistance.
+	Algorithm string `json:"algorithm,omitempty"`
+	// T is the monitoring period; required (> 0) for the
+	// MinTotalDistance family, ignored by the single-round q-rooted
+	// algorithms.
+	T float64 `json:"t,omitempty"`
+	// Base is the cycle-rounding base for MinTotalDistance; 0 means the
+	// paper's 2.
+	Base float64 `json:"base,omitempty"`
+	// TimeoutMillis overrides the server's default request deadline.
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+	// Field is the deployment field; omitted means the bounding box of
+	// all points.
+	Field *RectJSON `json:"field,omitempty"`
+	// BaseStation is the base-station location; omitted means the field
+	// centre.
+	BaseStation *PointJSON `json:"base_station,omitempty"`
+	// Sensors and Depots define the topology.
+	Sensors []SensorJSON `json:"sensors"`
+	Depots  []PointJSON  `json:"depots"`
+
+	net *wsn.Network
+	fp  uint64
+}
+
+// Network returns the canonical topology the request describes
+// (available after ParseRequest or NewRequest).
+func (r *PlanRequest) Network() *wsn.Network { return r.net }
+
+// Fingerprint returns wsn.Fingerprint of the request's topology.
+func (r *PlanRequest) Fingerprint() uint64 { return r.fp }
+
+// NewRequest builds a PlanRequest from an existing network; the JSON
+// fields are populated so the request round-trips through Marshal and
+// ParseRequest to a bit-identical topology (loadgen and the tests rely
+// on that for cache-hit workloads).
+func NewRequest(net *wsn.Network, algo string, T float64) *PlanRequest {
+	req := &PlanRequest{
+		Algorithm:   algo,
+		T:           T,
+		Field:       &RectJSON{Min: PointJSON{net.Field.Min.X, net.Field.Min.Y}, Max: PointJSON{net.Field.Max.X, net.Field.Max.Y}},
+		BaseStation: &PointJSON{net.Base.X, net.Base.Y},
+		net:         net,
+		fp:          wsn.Fingerprint(net),
+	}
+	for _, s := range net.Sensors {
+		id := s.ID
+		req.Sensors = append(req.Sensors, SensorJSON{
+			ID: &id, X: s.Pos.X, Y: s.Pos.Y, Capacity: s.Capacity, Cycle: s.Cycle,
+		})
+	}
+	for _, d := range net.Depots {
+		req.Depots = append(req.Depots, PointJSON{d.X, d.Y})
+	}
+	return req
+}
+
+// ParseRequest decodes and validates a /plan body. Every rejection is a
+// *RequestError (an HTTP 400); the decoder never panics on any input —
+// FuzzParseRequest holds it to that.
+func ParseRequest(data []byte) (*PlanRequest, error) {
+	var req PlanRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, &RequestError{fmt.Sprintf("invalid JSON: %v", err)}
+	}
+	// A second document after the first is a malformed request, not
+	// trailing noise to ignore.
+	if dec.More() {
+		return nil, &RequestError{"trailing data after JSON document"}
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// RequestError is a request-level validation failure; the HTTP handler
+// maps it to status 400.
+type RequestError struct {
+	// Reason is the human-readable rejection.
+	Reason string
+}
+
+// Error implements error.
+func (e *RequestError) Error() string { return "serve: bad request: " + e.Reason }
+
+func badRequest(format string, args ...any) error {
+	return &RequestError{fmt.Sprintf(format, args...)}
+}
+
+// validate checks the decoded fields and builds the canonical network.
+func (r *PlanRequest) validate() error {
+	if r.Algorithm == "" {
+		r.Algorithm = experiment.AlgoMTD
+	}
+	spec, ok := algoSpecs[r.Algorithm]
+	if !ok {
+		return badRequest("unknown algorithm %q (have: %v)", r.Algorithm, Algorithms())
+	}
+	if n := len(r.Sensors); n == 0 || n > MaxSensors {
+		return badRequest("need 1..%d sensors, got %d", MaxSensors, len(r.Sensors))
+	}
+	if q := len(r.Depots); q == 0 || q > MaxDepots {
+		return badRequest("need 1..%d depots, got %d", MaxDepots, len(r.Depots))
+	}
+	if !isFinite(r.Base) || r.Base < 0 || (r.Base > 0 && r.Base <= 1) {
+		return badRequest("rounding base must be > 1 (or 0 for the default), got %g", r.Base)
+	}
+	if r.TimeoutMillis < 0 {
+		return badRequest("timeout_ms must be non-negative, got %d", r.TimeoutMillis)
+	}
+
+	sensors, err := canonicalSensors(r.Sensors)
+	if err != nil {
+		return err
+	}
+	minCycle := math.Inf(1)
+	for _, s := range sensors {
+		minCycle = math.Min(minCycle, s.Cycle)
+	}
+	if spec.schedule {
+		if !(r.T > 0) || !isFinite(r.T) {
+			return badRequest("algorithm %q needs a positive monitoring period t, got %g", r.Algorithm, r.T)
+		}
+		if r.T/minCycle > MaxRounds {
+			return badRequest("t/min-cycle = %g exceeds the %d-round response cap", r.T/minCycle, MaxRounds)
+		}
+	}
+
+	depots := make([]geom.Point, len(r.Depots))
+	for l, d := range r.Depots {
+		if !isFinite(d.X) || !isFinite(d.Y) {
+			return badRequest("depot %d has non-finite coordinates (%g, %g)", l, d.X, d.Y)
+		}
+		depots[l] = geom.Pt(d.X, d.Y)
+	}
+
+	field, err := r.field(sensors, depots)
+	if err != nil {
+		return err
+	}
+	base := field.Center()
+	if r.BaseStation != nil {
+		if !isFinite(r.BaseStation.X) || !isFinite(r.BaseStation.Y) {
+			return badRequest("base station has non-finite coordinates")
+		}
+		base = geom.Pt(r.BaseStation.X, r.BaseStation.Y)
+		if !field.Contains(base) {
+			return badRequest("base station %v outside field", base)
+		}
+	}
+
+	net := &wsn.Network{Field: field, Base: base, Sensors: sensors, Depots: depots}
+	if err := net.Validate(); err != nil {
+		return badRequest("invalid topology: %v", err)
+	}
+	r.net = net
+	r.fp = wsn.Fingerprint(net)
+	return nil
+}
+
+// canonicalSensors validates the sensor list and returns it in
+// canonical ID order (IDs 0..n-1 matching slice positions).
+func canonicalSensors(in []SensorJSON) ([]wsn.Sensor, error) {
+	n := len(in)
+	withID := 0
+	for _, s := range in {
+		if s.ID != nil {
+			withID++
+		}
+	}
+	if withID != 0 && withID != n {
+		return nil, badRequest("either every sensor carries an id or none does (%d of %d have one)", withID, n)
+	}
+	out := make([]wsn.Sensor, n)
+	seen := make([]bool, n)
+	for i, s := range in {
+		id := i
+		if s.ID != nil {
+			id = *s.ID
+		}
+		if id < 0 || id >= n {
+			return nil, badRequest("sensor id %d out of range [0, %d)", id, n)
+		}
+		if seen[id] {
+			return nil, badRequest("duplicate sensor id %d", id)
+		}
+		seen[id] = true
+		if !isFinite(s.X) || !isFinite(s.Y) {
+			return nil, badRequest("sensor %d has non-finite coordinates (%g, %g)", id, s.X, s.Y)
+		}
+		capac := s.Capacity
+		if capac == 0 { //lint:allow floateq JSON zero value means the field was omitted; exact test intended
+			capac = 1
+		}
+		if !(capac > 0) || !isFinite(capac) {
+			return nil, badRequest("sensor %d has non-positive capacity %g", id, s.Capacity)
+		}
+		if !(s.Cycle > 0) || !isFinite(s.Cycle) {
+			return nil, badRequest("sensor %d has non-positive cycle %g", id, s.Cycle)
+		}
+		out[id] = wsn.Sensor{ID: id, Pos: geom.Pt(s.X, s.Y), Capacity: capac, Cycle: s.Cycle}
+	}
+	return out, nil
+}
+
+// field resolves the deployment field: the declared one (which must
+// contain every point) or the bounding box of all points.
+func (r *PlanRequest) field(sensors []wsn.Sensor, depots []geom.Point) (geom.Rect, error) {
+	if r.Field != nil {
+		f := geom.Rect{
+			Min: geom.Pt(r.Field.Min.X, r.Field.Min.Y),
+			Max: geom.Pt(r.Field.Max.X, r.Field.Max.Y),
+		}
+		if !isFinite(f.Min.X) || !isFinite(f.Min.Y) || !isFinite(f.Max.X) || !isFinite(f.Max.Y) {
+			return geom.Rect{}, badRequest("field has non-finite bounds")
+		}
+		if f.Min.X > f.Max.X || f.Min.Y > f.Max.Y {
+			return geom.Rect{}, badRequest("field min exceeds max")
+		}
+		return f, nil
+	}
+	f := geom.Rect{Min: sensors[0].Pos, Max: sensors[0].Pos}
+	grow := func(p geom.Point) {
+		f.Min.X = math.Min(f.Min.X, p.X)
+		f.Min.Y = math.Min(f.Min.Y, p.Y)
+		f.Max.X = math.Max(f.Max.X, p.X)
+		f.Max.Y = math.Max(f.Max.Y, p.Y)
+	}
+	for _, s := range sensors {
+		grow(s.Pos)
+	}
+	for _, d := range depots {
+		grow(d)
+	}
+	return f, nil
+}
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// algoSpec describes how one algorithm label plans.
+type algoSpec struct {
+	// schedule algorithms build a full multi-round schedule and need T;
+	// the rest solve one q-rooted round.
+	schedule bool
+}
+
+// algoSpecs lists the labels POST /plan accepts. Simulation-driven
+// policies (Greedy, the -var family) are sweep-harness experiments, not
+// serving algorithms: their output depends on a simulated energy
+// trajectory, not just the topology.
+var algoSpecs = map[string]algoSpec{
+	experiment.AlgoMTD:            {schedule: true},
+	experiment.AlgoMTDRefined:     {schedule: true},
+	experiment.AlgoMTDVoronoi:     {schedule: true},
+	experiment.AlgoMTDChristo:     {schedule: true},
+	experiment.AlgoQRootedApprox:  {schedule: false},
+	experiment.AlgoQRootedRefined: {schedule: false},
+}
+
+// Algorithms returns the sorted algorithm labels POST /plan accepts.
+func Algorithms() []string {
+	out := make([]string, 0, len(algoSpecs))
+	for a := range algoSpecs {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

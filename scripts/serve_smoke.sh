@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the serving layer.
+#
+# Builds chargerd and loadgen, starts the daemon on a scratch port,
+# drives it with a short strict closed-loop load (any non-2xx response
+# other than a shed, or a flapping /healthz, fails), and tears the
+# daemon down. Tunables via environment:
+#
+#   SMOKE_DURATION   load duration            (default 5s)
+#   SMOKE_N, SMOKE_Q topology size            (default 100 sensors, 5 depots)
+#   SMOKE_ADDR       listen address           (default localhost:18080)
+#   SMOKE_MIN_RPS    throughput floor, req/s  (default 100 — CI runners are
+#                    slow; the committed SERVE_pr4.json baseline records the
+#                    real numbers from a quiet machine)
+#   SMOKE_MAX_P99    p99 ceiling, ms          (default 1000)
+#   SMOKE_MIN_HIT    warm cache hit floor     (default 0.9)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${SMOKE_DURATION:-5s}"
+N="${SMOKE_N:-100}"
+Q="${SMOKE_Q:-5}"
+ADDR="${SMOKE_ADDR:-localhost:18080}"
+MIN_RPS="${SMOKE_MIN_RPS:-100}"
+MAX_P99="${SMOKE_MAX_P99:-1000}"
+MIN_HIT="${SMOKE_MIN_HIT:-0.9}"
+
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
+
+go build -o "$bin/chargerd" ./cmd/chargerd
+go build -o "$bin/loadgen" ./cmd/loadgen
+
+"$bin/chargerd" -addr "$ADDR" &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true; wait "$daemon" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+# Wait for the daemon to come up (healthz answering) before loading it.
+for i in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if [ "$i" -eq 50 ]; then
+        echo "serve_smoke: chargerd did not come up on $ADDR" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$bin/loadgen" -url "http://$ADDR" -n "$N" -q "$Q" -d "$DURATION" -strict \
+    -min-rps "$MIN_RPS" -max-p99-ms "$MAX_P99" -min-hitrate "$MIN_HIT"
+
+echo "serve_smoke: OK" >&2
