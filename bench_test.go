@@ -12,6 +12,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiment"
@@ -231,6 +232,78 @@ func BenchmarkBalanceTours(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rooted.BalanceTours(sp, sol, 50)
+	}
+}
+
+// --- Large-n planning benches (grid vs dense) ---------------------------
+
+// benchLargeNet generates one large random-cycle topology at the scale
+// the sub-quadratic path targets — the same parameters cmd/bench -large
+// uses, so in-test and end-to-end captures measure identical cells.
+// Generation runs outside the timer.
+func benchLargeNet(b *testing.B, n, q int) *Network {
+	b.Helper()
+	p := experiment.Params{
+		N: n, Q: q, TauMin: 1, TauMax: 20,
+		DistName: "random", T: 40, Seed: 1,
+	}
+	net, err := p.Network()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// benchLargePlan times full PlanFixed calls on one large topology with
+// the requested metric backend, then reports the post-plan heap
+// footprint (MemStats.HeapSys) under the same "heap-bytes" unit
+// cmd/bench -large emits, so benchfmt aggregates both capture styles.
+func benchLargePlan(b *testing.B, n, q int, dense bool) {
+	b.Helper()
+	net := benchLargeNet(b, n, q)
+	opt := FixedOptions{Rooted: rooted.Options{Workers: runtime.GOMAXPROCS(0)}}
+	if dense {
+		opt.Space = metric.Materialize(net.Space())
+	} else {
+		opt.Space = metric.NewGrid(net.Points())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanFixed(net, 40, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapSys), "heap-bytes")
+}
+
+// BenchmarkLargePlanGrid plans large topologies on the sub-quadratic
+// path: grid k-NN lists, Borůvka MSF, and parallel tour refinement.
+// The grid is forced even at n=2000 (below metric.DenseLimit) so the
+// paired dense benchmark exposes the crossover, not just the asymptote.
+// Run with -benchtime 1x; one plan is the unit of interest.
+func BenchmarkLargePlanGrid(b *testing.B) {
+	for _, n := range []int{2000, 10000, 50000} {
+		for _, q := range []int{5, 20} {
+			b.Run(fmt.Sprintf("n=%d/q=%d", n, q), func(b *testing.B) {
+				benchLargePlan(b, n, q, false)
+			})
+		}
+	}
+}
+
+// BenchmarkLargePlanDense forces the O(n²) dense path on the same
+// topologies for paired speedup measurements. Capped at n=10000 — the
+// 50k matrix alone would be 20 GB.
+func BenchmarkLargePlanDense(b *testing.B) {
+	for _, n := range []int{2000, 10000} {
+		for _, q := range []int{5, 20} {
+			b.Run(fmt.Sprintf("n=%d/q=%d", n, q), func(b *testing.B) {
+				benchLargePlan(b, n, q, true)
+			})
+		}
 	}
 }
 

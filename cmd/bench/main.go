@@ -15,6 +15,12 @@
 //	go run ./cmd/bench -profile fig5 -cpuprofile cpu.out -memprofile mem.out
 //	go tool pprof cpu.out
 //
+// Time one large-n plan end to end and print it as a benchmark line
+// (heap footprint included; -maxheap turns it into a memory gate, and
+// the CI large-n smoke job runs exactly this under GOMEMLIMIT):
+//
+//	go run ./cmd/bench -large 10000,20 -maxheap 536870912
+//
 // scripts/bench.sh wraps the capture and compare steps.
 package main
 
@@ -25,11 +31,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/benchfmt"
+	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/metric"
+	"repro/internal/rooted"
 )
 
 func main() {
@@ -37,6 +47,7 @@ func main() {
 		parse      = flag.Bool("parse", false, "parse raw go test -bench output from stdin (or -i) into a JSON baseline")
 		in         = flag.String("i", "", "input file for -parse (default stdin)")
 		out        = flag.String("o", "", "output file for -parse (default stdout)")
+		label      = flag.String("label", "", "with -parse: stamp the baseline with this capture label (e.g. pr5)")
 		compare    = flag.Bool("compare", false, "compare two baselines: -compare BASE.json CURRENT.json")
 		threshold  = flag.Float64("threshold", 0.15, "fractional ns/op growth that counts as a regression")
 		profile    = flag.String("profile", "", "run figure <id> (e.g. 5 or fig5) under the profiler")
@@ -44,13 +55,25 @@ func main() {
 		memprofile = flag.String("memprofile", "", "with -profile: write a heap profile to this file")
 		reps       = flag.Int("reps", 3, "with -profile: repetitions of the sweep (more samples)")
 		topologies = flag.Int("topologies", 10, "with -profile: networks per data point")
+		large      = flag.String("large", "", "time one large-n plan: \"N,Q\" (e.g. 50000,20); prints a benchmark line")
+		dense      = flag.Bool("dense", false, "with -large: force the dense O(n²) path instead of the auto-selected grid")
+		maxheap    = flag.Int64("maxheap", 0, "with -large: exit 1 if the post-plan heap footprint exceeds this many bytes")
 	)
 	flag.Parse()
 	switch {
 	case *parse:
-		if err := runParse(*in, *out); err != nil {
+		if err := runParse(*in, *out, *label); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(2)
+		}
+	case *large != "":
+		over, err := runLarge(*large, *dense, *maxheap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(2)
+		}
+		if over {
+			os.Exit(1)
 		}
 	case *profile != "":
 		if err := runProfile(*profile, *cpuprofile, *memprofile, *reps, *topologies); err != nil {
@@ -76,7 +99,7 @@ func main() {
 	}
 }
 
-func runParse(in, out string) error {
+func runParse(in, out, label string) error {
 	var r io.Reader = os.Stdin
 	if in != "" {
 		f, err := os.Open(in)
@@ -96,6 +119,8 @@ func runParse(in, out string) error {
 	// go test never prints the toolchain version; stamp it here so the
 	// committed baseline records its capture environment.
 	parsed.Go = runtime.Version()
+	parsed.SchemaVersion = benchfmt.SchemaVersion
+	parsed.Label = label
 	var w io.Writer = os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
@@ -182,6 +207,73 @@ func runProfile(fig, cpuPath, memPath string, reps, topologies int) error {
 		}
 	}
 	return nil
+}
+
+// runLarge times one end-to-end PlanFixed call on a freshly generated
+// large topology and prints it in benchmark-line format, so the output
+// pipes straight into -parse alongside `go test -bench` captures:
+//
+//	BenchmarkLargeN/n=50000/q=20/path=grid 1 <ns> ns/op <bytes> heap-bytes
+//
+// heap-bytes is runtime.MemStats.HeapSys right after the plan — the
+// heap footprint the process actually reached, the number the large-n
+// "peak well below O(n²)" budget is enforced on (non-zero -maxheap
+// returns over=true when exceeded; the caller exits 1). -dense forces
+// the quadratic dense path for paired speedup measurements; it refuses
+// n > 20000, where the matrix alone would pass 3 GB.
+func runLarge(spec string, dense bool, maxheap int64) (over bool, err error) {
+	nStr, qStr, ok := strings.Cut(spec, ",")
+	if !ok {
+		return false, fmt.Errorf("-large wants \"N,Q\", got %q", spec)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(nStr))
+	if err != nil {
+		return false, fmt.Errorf("-large N: %v", err)
+	}
+	q, err := strconv.Atoi(strings.TrimSpace(qStr))
+	if err != nil {
+		return false, fmt.Errorf("-large Q: %v", err)
+	}
+	if n < 1 || q < 1 {
+		return false, fmt.Errorf("-large wants positive N,Q, got %d,%d", n, q)
+	}
+	if dense && n > 20000 {
+		return false, fmt.Errorf("-dense at n=%d needs an %d MB matrix; refusing", n, 8*n*n>>20)
+	}
+	p := experiment.Params{
+		N: n, Q: q, TauMin: 1, TauMax: 20,
+		DistName: "random", T: 40, Seed: 1,
+	}
+	net, err := p.Network()
+	if err != nil {
+		return false, err
+	}
+	opt := core.FixedOptions{Rooted: rooted.Options{Workers: runtime.GOMAXPROCS(0)}}
+	path := "grid"
+	if dense {
+		path = "dense"
+		opt.Space = metric.Materialize(net.Space())
+	} else if len(net.Points()) > metric.DenseLimit {
+		opt.Space = metric.NewGrid(net.Points())
+	}
+	start := time.Now()
+	plan, err := core.PlanFixed(net, p.T, opt)
+	elapsed := time.Since(start)
+	if err != nil {
+		return false, err
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	heap := int64(ms.HeapSys)
+	fmt.Printf("BenchmarkLargeN/n=%d/q=%d/path=%s 1 %d ns/op %d heap-bytes\n",
+		n, q, path, elapsed.Nanoseconds(), heap)
+	fmt.Fprintf(os.Stderr, "bench: large plan n=%d q=%d path=%s: cost %.0f, %d dispatches, %s, heap %d MB\n",
+		n, q, path, plan.Cost(), plan.Schedule.Dispatches(), elapsed.Round(time.Millisecond), heap>>20)
+	if maxheap > 0 && heap > maxheap {
+		fmt.Fprintf(os.Stderr, "bench: heap footprint %d bytes exceeds -maxheap %d\n", heap, maxheap)
+		return true, nil
+	}
+	return false, nil
 }
 
 func readBaseline(path string) (benchfmt.File, error) {

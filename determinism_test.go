@@ -6,7 +6,10 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/metric"
+	"repro/internal/rooted"
 )
 
 // TestSweepDeterminism runs one small figure sweep twice — one worker on
@@ -46,5 +49,46 @@ func TestSweepDeterminism(t *testing.T) {
 		}
 		t.Fatalf("sweep results differ between (workers=1, procs=1) and (workers=8, procs=%d); first divergence: %.80q vs %.80q",
 			runtime.NumCPU(), a, b)
+	}
+}
+
+// TestIntraPlanParallelDeterminism pins the determinism contract of
+// rooted.Options.Workers on the full MinTotalDistance planner: one
+// grid-backed topology planned serially and with eight concurrent tour
+// builders must produce byte-identical plans — same schedule, same
+// costs, bit for bit. Under -race this also exercises the worker pool
+// for data races. (TestSweepDeterminism covers inter-cell parallelism;
+// this covers parallelism inside a single plan, the large-n serving
+// path.)
+func TestIntraPlanParallelDeterminism(t *testing.T) {
+	p := experiment.Params{
+		N: 400, Q: 8, TauMin: 1, TauMax: 25, Sigma: 2,
+		DistName: "linear", T: 150, Seed: 42,
+	}
+	net, err := p.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := metric.NewGrid(net.Points())
+	plan := func(workers int) []byte {
+		t.Helper()
+		opt := core.FixedOptions{
+			Space:  grid,
+			Rooted: rooted.Options{Refine: true, Workers: workers},
+		}
+		pl, err := core.PlanFixed(net, p.T, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := plan(1)
+	parallel := plan(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("plan differs between Workers=1 and Workers=8")
 	}
 }

@@ -30,10 +30,27 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// HeapBytes is the peak-proxy heap level a large-n capture reports
+	// ("heap-bytes" unit, emitted by cmd/bench -large): the runtime's
+	// heap footprint (MemStats.HeapSys) right after the measured plan,
+	// the figure the <1 GB large-n memory budget is checked against.
+	HeapBytes float64 `json:"heap_bytes,omitempty"`
 }
+
+// SchemaVersion is the current baseline-file schema. Version 2 added
+// the schema/label header and per-result heap_bytes; version-0/1 files
+// (no schema_version field) still read fine — the new fields are
+// additive and omitempty.
+const SchemaVersion = 2
 
 // File is the JSON baseline: capture environment plus results.
 type File struct {
+	// SchemaVersion stamps the baseline layout (see SchemaVersion);
+	// 0 in files captured before the field existed.
+	SchemaVersion int `json:"schema_version,omitempty"`
+	// Label names the capture (the PR tag: "seed", "pr2", "pr5", ...),
+	// so a directory of BENCH_*.json files stays self-describing.
+	Label  string `json:"label,omitempty"`
 	Goos   string `json:"goos,omitempty"`
 	Goarch string `json:"goarch,omitempty"`
 	Pkg    string `json:"pkg,omitempty"`
@@ -108,15 +125,18 @@ func aggregate(samples []Result) Result {
 	ns := make([]float64, len(samples))
 	bytes := make([]float64, len(samples))
 	allocs := make([]float64, len(samples))
+	heap := make([]float64, len(samples))
 	for i, s := range samples {
 		ns[i] = s.NsPerOp
 		bytes[i] = s.BytesPerOp
 		allocs[i] = s.AllocsPerOp
+		heap[i] = s.HeapBytes
 	}
 	sort.Float64s(ns)
 	res.NsPerOp = median(ns)
 	res.BytesPerOp = median(bytes)
 	res.AllocsPerOp = median(allocs)
+	res.HeapBytes = median(heap)
 	// The run whose ns/op sits closest to the median keeps its
 	// iteration count, so Iterations stays representative.
 	mid := samples[0]
@@ -172,6 +192,8 @@ func parseLine(line string) (Result, error) {
 			res.BytesPerOp = v
 		case "allocs/op":
 			res.AllocsPerOp = v
+		case "heap-bytes":
+			res.HeapBytes = v
 		}
 	}
 	if res.NsPerOp == 0 {

@@ -108,6 +108,43 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseHeapBytes covers the large-n capture lines cmd/bench -large
+// emits: a heap-bytes unit per result, aggregated by median across
+// repeats, and round-tripping with the schema header.
+func TestParseHeapBytes(t *testing.T) {
+	raw := "BenchmarkLargeN/n=10000/q=20/path=grid 1 123456789 ns/op 400000000 heap-bytes\n" +
+		"BenchmarkLargeN/n=10000/q=20/path=grid 1 123456000 ns/op 500000000 heap-bytes\n" +
+		"BenchmarkLargeN/n=10000/q=20/path=grid 1 123457000 ns/op 600000000 heap-bytes\n"
+	f, err := Parse(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(f.Results))
+	}
+	r := f.Results[0]
+	if r.Name != "BenchmarkLargeN/n=10000/q=20/path=grid" || r.Runs != 3 {
+		t.Fatalf("unexpected aggregation: %+v", r)
+	}
+	if r.HeapBytes != 500000000 {
+		t.Fatalf("heap median %g, want 5e8", r.HeapBytes)
+	}
+
+	f.SchemaVersion = SchemaVersion
+	f.Label = "pr5"
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != SchemaVersion || got.Label != "pr5" || got.Results[0].HeapBytes != 500000000 {
+		t.Fatalf("schema header or heap bytes lost in round trip: %+v", got)
+	}
+}
+
 func TestCompare(t *testing.T) {
 	base := File{Results: []Result{
 		{Name: "A", NsPerOp: 100},

@@ -114,11 +114,20 @@ func PlanFixed(net *wsn.Network, T float64, opt FixedOptions) (*FixedPlan, error
 	cycles := net.Cycles()
 	src := opt.Space
 	if src == nil {
-		src = net.Space()
+		// Above metric.DenseLimit points an n×n matrix is prohibitive
+		// (8n² bytes); plan over the exact grid index instead.
+		if pts := net.Points(); len(pts) > metric.DenseLimit {
+			src = metric.NewGrid(pts)
+		} else {
+			src = net.Space()
+		}
 	} else if src.Len() != net.Space().Len() {
 		return nil, fmt.Errorf("core: FixedOptions.Space has %d points, network has %d", src.Len(), net.Space().Len())
 	}
-	space := metric.Materialize(src) // no-op when a Dense was passed in
+	var space metric.Space = src
+	if _, isGrid := metric.AsGrid(src); !isGrid {
+		space = metric.Materialize(src) // no-op when a Dense was passed in
+	}
 	depots := net.DepotIndices()
 
 	tau1 := net.MinCycle()

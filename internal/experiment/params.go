@@ -136,16 +136,19 @@ func RunOne(algo string, p Params) (Outcome, error) {
 }
 
 // Prepared holds the per-cell state every algorithm of the cell shares:
-// the generated topology, its materialized distance matrix, and (in the
-// variable regime) the slotted energy model. The matrix is read-only;
-// the model's draws are a pure function of (seed, sensor, slot), so
+// the generated topology, its prebuilt metric space, and (in the
+// variable regime) the slotted energy model. The space is read-only: a
+// materialized Dense matrix up to metric.DenseLimit points, a
+// grid-indexed metric.Grid above it (an n×n matrix at n = 50 000 would
+// cost 20 GB; the grid answers the same queries exactly in O(n) memory).
+// The model's draws are a pure function of (seed, sensor, slot), so
 // sharing one lazily-populated instance across the cell's algorithms is
 // observationally identical to giving each its own — it just pays the
 // expensive per-(slot, sensor) seeding once per cell instead of once
 // per algorithm. A Prepared is not safe for concurrent use.
 type Prepared struct {
 	Net   *wsn.Network
-	Space metric.Dense
+	Space metric.Space
 
 	scratch *Scratch
 	lists   *metric.NearestLists
@@ -194,8 +197,18 @@ func PrepareNet(net *wsn.Network) *Prepared { return PrepareNetInto(net, nil) }
 // storage, so a worker that plans topology after topology (a sweep cell
 // or a serving request) allocates nothing in steady state. The returned
 // Prepared is only valid until ws's next PrepareInto/PrepareNetInto.
+//
+// Topologies above metric.DenseLimit points get a metric.Grid instead
+// of a Dense matrix: O(n) memory, exact sub-quadratic queries, and a
+// planning pipeline that never materializes O(n²) state (DESIGN.md
+// §12). Below the limit the dense path is byte-identical to earlier
+// releases.
 func PrepareNetInto(net *wsn.Network, ws *Scratch) *Prepared {
 	pr := &Prepared{Net: net, scratch: ws}
+	if pts := net.Points(); len(pts) > metric.DenseLimit {
+		pr.Space = metric.NewGrid(pts)
+		return pr
+	}
 	if ws == nil {
 		pr.Space = metric.Materialize(net.Space())
 	} else {
@@ -208,14 +221,26 @@ func PrepareNetInto(net *wsn.Network, ws *Scratch) *Prepared {
 // Lists returns the cell's shared k-nearest-neighbor candidate lists,
 // building them on first use. They are read-only and shared by every
 // refining algorithm of the cell; algorithms that never refine must not
-// call this (the O(n²) build would be pure overhead).
+// call this (the O(n²) dense build would be pure overhead). On a
+// grid-backed cell the lists come from the spatial index — identical
+// contents, O(n·k) time and memory.
 func (pr *Prepared) Lists() *metric.NearestLists {
 	if pr.lists == nil {
-		if pr.scratch != nil {
-			pr.scratch.lists.Build(pr.Space, metric.DefaultNearest)
+		g, isGrid := metric.AsGrid(pr.Space)
+		switch {
+		case isGrid && pr.scratch != nil:
+			pr.scratch.lists.BuildGrid(g, metric.DefaultNearest)
 			pr.lists = &pr.scratch.lists
-		} else {
-			pr.lists = pr.Space.NearestLists(metric.DefaultNearest)
+		case isGrid:
+			pr.lists = g.NearestLists(metric.DefaultNearest)
+		default:
+			d, _ := metric.AsDense(pr.Space) // PrepareNetInto builds Dense below the limit
+			if pr.scratch != nil {
+				pr.scratch.lists.Build(d, metric.DefaultNearest)
+				pr.lists = &pr.scratch.lists
+			} else {
+				pr.lists = d.NearestLists(metric.DefaultNearest)
+			}
 		}
 	}
 	return pr.lists
@@ -227,12 +252,17 @@ func (pr *Prepared) Lists() *metric.NearestLists {
 // what uses them, and building k-NN lists for a construction-only
 // algorithm would cost O(n²) for nothing. (MethodClusterFirst builds
 // its own per-group lists over flattened subspaces; see
-// rooted/clusterfirst.go.) Exposed so external planning layers —
+// rooted/clusterfirst.go.) On a grid-backed cell no whole-space lists
+// are attached either: grid refinement builds per-tour lists from the
+// spatial index (rooted.Options.refine), so full-space lists would
+// never be read. Exposed so external planning layers —
 // internal/serve's worker pool — reuse the same arena wiring as the
 // sweep harness.
 func (pr *Prepared) TourOptions(opt *rooted.Options, refineNs *int64) {
 	if opt.Refine {
-		opt.Neighbors = pr.Lists()
+		if _, isGrid := metric.AsGrid(pr.Space); !isGrid {
+			opt.Neighbors = pr.Lists()
+		}
 	}
 	if pr.scratch != nil {
 		opt.Scratch = &pr.scratch.tsp

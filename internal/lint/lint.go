@@ -202,6 +202,7 @@ func Analyzers() []*Analyzer {
 	}
 	hot := []string{
 		"repro/internal/core",
+		"repro/internal/metric",
 		"repro/internal/rooted",
 		"repro/internal/tsp",
 	}

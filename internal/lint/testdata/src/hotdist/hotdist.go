@@ -2,7 +2,11 @@
 // interface calls inside loops versus the out-of-loop and closure cases.
 package hotdist
 
-import "repro/internal/metric"
+import (
+	"math"
+
+	"repro/internal/metric"
+)
 
 // Total dispatches through the interface once per inner iteration — the
 // pattern the Dense row fast path exists to remove.
@@ -41,4 +45,20 @@ func Allowed(sp metric.Space) float64 {
 		sum += sp.Dist(i-1, i)
 	}
 	return sum
+}
+
+// RingScan mimics a spatial-index ring expansion that falls back to the
+// interface for its candidate distances — the regression the grid
+// kernels must never reintroduce: a query loop nested in a cell loop,
+// dispatching per candidate.
+func RingScan(sp metric.Space, rings [][]int) float64 {
+	best := math.Inf(1)
+	for _, ring := range rings {
+		for _, u := range ring {
+			if d := sp.Dist(0, u); d < best { // want:hotdist
+				best = d
+			}
+		}
+	}
+	return best
 }

@@ -56,7 +56,12 @@ func AsDense(sp Space) (Dense, bool) {
 // indirects through its parent on every Dist call, so callers that
 // query a subspace more than O(n) times (local search, Held–Karp)
 // flatten it first. When the parent is itself Dense the fill is a
-// gather over parent rows with no Dist calls at all.
+// gather over parent rows with no Dist calls at all; a Grid parent is
+// gathered with concrete point math (the same Hypot the Dense build
+// uses, so the flattened entries are bit-identical to a dense-path
+// sub-matrix).
+//
+//lint:allow hotdist one-time build gather; the generic tail is the non-Dense, non-Grid fallback
 func (s Sub) Flatten() Dense {
 	n := len(s.Idx)
 	out := NewDense(n)
@@ -66,6 +71,17 @@ func (s Sub) Flatten() Dense {
 			row := out.Row(i)
 			for j, pj := range s.Idx {
 				row[j] = prow[pj]
+			}
+		}
+		return out
+	}
+	if g, ok := AsGrid(s.Parent); ok {
+		pts := g.Points()
+		for i := 0; i < n; i++ {
+			pi := pts[s.Idx[i]]
+			row := out.Row(i)
+			for j, pj := range s.Idx {
+				row[j] = pi.Dist(pts[pj])
 			}
 		}
 		return out

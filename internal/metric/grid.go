@@ -1,0 +1,379 @@
+package metric
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// DenseLimit is the point count above which planning layers prefer the
+// uniform-grid index over materializing a Dense matrix: an n×n float64
+// matrix costs 8n² bytes (≈ 20 GB at n = 50 000), while the grid costs
+// O(n) to build and O(n·k) for candidate lists. Below the limit Dense
+// stays the default — it is faster per query and keeps small-instance
+// results bit-identical to the seed implementation.
+const DenseLimit = 4096
+
+// Grid is the sub-quadratic counterpart of Dense: a metric.Space over
+// planar points backed by a uniform spatial hash instead of an n×n
+// matrix. Dist is computed on demand from the coordinates (exactly the
+// same math.Hypot the Dense build uses, so distances agree bit-for-bit
+// with a materialized matrix), and the index answers exact nearest-
+// neighbor queries by ring expansion in roughly O(1) cells per query on
+// uniform inputs.
+//
+// Like Dense, a built Grid is read-only and may be shared freely across
+// goroutines; the lazily-built full index is protected by a sync.Once.
+type Grid struct {
+	pts  []geom.Point
+	once sync.Once
+	full *GridIndex
+}
+
+// NewGrid returns the grid-indexed space over pts. The slice is
+// referenced, not copied; callers must not mutate it afterwards.
+func NewGrid(pts []geom.Point) *Grid { return &Grid{pts: pts} }
+
+// Len implements Space.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// Dist implements Space with the same math.Hypot evaluation the Dense
+// build path uses, so grid and dense distances are bit-identical.
+func (g *Grid) Dist(i, j int) float64 { return g.pts[i].Dist(g.pts[j]) }
+
+// Points returns the backing point slice (shared, read-only).
+func (g *Grid) Points() []geom.Point { return g.pts }
+
+// AsGrid reports the *Grid underlying sp. Hot paths call it once at
+// entry — after AsDense fails — to select the sub-quadratic geometric
+// path; a false return means "stay on the generic interface path".
+func AsGrid(sp Space) (*Grid, bool) {
+	g, ok := sp.(*Grid)
+	return g, ok
+}
+
+// Index returns the grid index over all points, building it on first
+// use and caching it for the Grid's lifetime.
+func (g *Grid) Index() *GridIndex {
+	g.once.Do(func() {
+		members := make([]int, len(g.pts))
+		for i := range members {
+			members[i] = i
+		}
+		g.full = g.SubIndex(members)
+	})
+	return g.full
+}
+
+// SubIndex builds a grid index over the subset of points given by
+// members; local index k of the returned index corresponds to space
+// index members[k]. The build is O(|members|). The members slice is
+// only read during the build.
+func (g *Grid) SubIndex(members []int) *GridIndex {
+	m := len(members)
+	gi := &GridIndex{
+		xs: make([]float64, m),
+		ys: make([]float64, m),
+	}
+	for k, v := range members {
+		gi.xs[k] = g.pts[v].X
+		gi.ys[k] = g.pts[v].Y
+	}
+	gi.build()
+	return gi
+}
+
+// NearestLists builds the k-nearest-neighbor candidate lists of the
+// whole space from the grid index — the O(n·k)-memory twin of
+// Dense.NearestLists, producing bit-identical contents (same neighbors,
+// same distances, same (distance, id) order) without ever materializing
+// the O(n²) matrix.
+func (g *Grid) NearestLists(k int) *NearestLists {
+	nl := &NearestLists{}
+	g.Index().BuildLists(nl, k)
+	return nl
+}
+
+// BuildGrid (re)fills nl from g's grid index, reusing nl's backing
+// arrays when large enough — the arena form of Grid.NearestLists,
+// mirroring NearestLists.Build for the dense path.
+func (nl *NearestLists) BuildGrid(g *Grid, k int) { g.Index().BuildLists(nl, k) }
+
+// GridIndex is a uniform-grid spatial hash over a (subset of a) point
+// set: cells of side `cell` in row-major order, with the members of
+// each cell stored contiguously in ascending local id (a CSR layout).
+// It answers two exact queries, both by expanding Chebyshev rings of
+// cells around the query point until the geometric lower bound of the
+// next ring proves no better candidate can exist:
+//
+//   - BuildLists: per-vertex k-nearest-neighbor lists, bit-identical to
+//     the Dense build (same (distance, id) tie-breaking);
+//   - NearestExcluding: nearest member outside the query's component,
+//     the inner kernel of the Borůvka q-rooted MSF in internal/rooted.
+//
+// A built GridIndex is read-only and safe for concurrent queries.
+type GridIndex struct {
+	xs, ys     []float64 // member coordinates, local index order
+	minX, minY float64
+	cell       float64 // cell side length, > 0
+	nx, ny     int     // grid dimensions, ≥ 1
+	cx, cy     []int32 // per-member cell coordinates
+	start      []int32 // CSR cell offsets, len nx*ny+1
+	items      []int32 // member local ids grouped by cell, ascending within a cell
+}
+
+// Len returns the number of indexed members.
+func (gi *GridIndex) Len() int { return len(gi.xs) }
+
+// build sizes the cells for ~1 member per cell, clamps the cell count
+// for degenerate aspect ratios, and fills the CSR buckets.
+func (gi *GridIndex) build() {
+	m := len(gi.xs)
+	if m == 0 {
+		gi.cell, gi.nx, gi.ny = 1, 1, 1
+		gi.start = make([]int32, 2)
+		return
+	}
+	minX, maxX := gi.xs[0], gi.xs[0]
+	minY, maxY := gi.ys[0], gi.ys[0]
+	for k := 1; k < m; k++ {
+		minX = math.Min(minX, gi.xs[k])
+		maxX = math.Max(maxX, gi.xs[k])
+		minY = math.Min(minY, gi.ys[k])
+		maxY = math.Max(maxY, gi.ys[k])
+	}
+	gi.minX, gi.minY = minX, minY
+	w, h := maxX-minX, maxY-minY
+	// Target ~1 member per cell; fall back to the longest extent for
+	// collinear inputs and to a unit cell when every point coincides.
+	cell := math.Sqrt(w * h / float64(m))
+	if !(cell > 0) {
+		cell = math.Max(w, h) / float64(m)
+	}
+	if !(cell > 0) {
+		cell = 1
+	}
+	// Clamp the total cell count: extreme aspect ratios would otherwise
+	// allocate far more cells than members.
+	for {
+		fx := math.Floor(w/cell) + 1
+		fy := math.Floor(h/cell) + 1
+		if fx*fy <= 4*float64(m)+16 {
+			gi.nx, gi.ny = int(fx), int(fy)
+			break
+		}
+		cell *= 2
+	}
+	gi.cell = cell
+
+	gi.cx = make([]int32, m)
+	gi.cy = make([]int32, m)
+	gi.start = make([]int32, gi.nx*gi.ny+1)
+	for k := 0; k < m; k++ {
+		cx := clampCell(int((gi.xs[k]-minX)/cell), gi.nx)
+		cy := clampCell(int((gi.ys[k]-minY)/cell), gi.ny)
+		gi.cx[k], gi.cy[k] = int32(cx), int32(cy)
+		gi.start[cy*gi.nx+cx+1]++
+	}
+	for c := 0; c < gi.nx*gi.ny; c++ {
+		gi.start[c+1] += gi.start[c]
+	}
+	gi.items = make([]int32, m)
+	cur := make([]int32, gi.nx*gi.ny)
+	copy(cur, gi.start[:gi.nx*gi.ny])
+	// Members are appended in ascending local id, so each cell's slice
+	// comes out sorted — the property the deterministic tie-breaking of
+	// both queries relies on.
+	for k := 0; k < m; k++ {
+		c := int(gi.cy[k])*gi.nx + int(gi.cx[k])
+		gi.items[cur[c]] = int32(k)
+		cur[c]++
+	}
+}
+
+// clampCell clamps a computed cell coordinate into [0, n-1]; floating-
+// point division can land a boundary point one cell outside.
+func clampCell(c, n int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// ringLB returns a safe lower bound on the distance from a point to any
+// member whose cell lies at Chebyshev ring r of the point's cell: such
+// members are at least (r-1)·cell away. The bound is shaved by a
+// relative 1e-9 so floating-point rounding in the cell assignment can
+// never push it above a true distance — an over-tight bound would prune
+// an exact nearest neighbor, and exactness is the whole contract.
+func (gi *GridIndex) ringLB(r int) float64 {
+	if r <= 1 {
+		return 0
+	}
+	lb := float64(r-1) * gi.cell
+	return lb - lb*1e-9
+}
+
+// maxRing is the largest ring that can still contain cells.
+func (gi *GridIndex) maxRing() int {
+	if gi.nx > gi.ny {
+		return gi.nx
+	}
+	return gi.ny
+}
+
+// BuildLists (re)fills nl with the k-nearest-neighbor lists of every
+// member, by per-vertex ring expansion: ring r is scanned while the
+// list is short or the current kth distance is ≥ the ring's lower
+// bound (≥, not >, so an equidistant smaller-id member in a farther
+// ring can still displace the incumbent — the (distance, id) order must
+// match the Dense build exactly). Neighbor ids are local indices of the
+// GridIndex. Memory is O(m·k); time is O(m·k) on uniform inputs.
+func (gi *GridIndex) BuildLists(nl *NearestLists, k int) {
+	m := gi.Len()
+	if k > m-1 {
+		k = m - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	nl.n, nl.k = m, k
+	nl.complete = k >= m-1
+	if cap(nl.ids) >= m*k {
+		nl.ids = nl.ids[:m*k]
+	} else {
+		nl.ids = make([]int32, m*k)
+	}
+	if cap(nl.dist) >= m*k {
+		nl.dist = nl.dist[:m*k]
+	} else {
+		nl.dist = make([]float64, m*k)
+	}
+	if k == 0 {
+		return
+	}
+	maxRing := gi.maxRing()
+	for v := 0; v < m; v++ {
+		ids := nl.ids[v*k : (v+1)*k]
+		ds := nl.dist[v*k : (v+1)*k]
+		cnt := 0
+		x, y := gi.xs[v], gi.ys[v]
+		cx, cy := int(gi.cx[v]), int(gi.cy[v])
+		for r := 0; r <= maxRing; r++ {
+			if cnt == k && ds[k-1] < gi.ringLB(r) {
+				break
+			}
+			x0, x1 := cx-r, cx+r
+			y0, y1 := cy-r, cy+r
+			for iy := y0; iy <= y1; iy++ {
+				if iy < 0 || iy >= gi.ny {
+					continue
+				}
+				// Interior rows of a ring only contribute their two edge
+				// cells; stepping by the row width skips the middle.
+				step := 1
+				if iy != y0 && iy != y1 && x1 > x0 {
+					step = x1 - x0
+				}
+				for ix := x0; ix <= x1; ix += step {
+					if ix < 0 || ix >= gi.nx {
+						continue
+					}
+					c := iy*gi.nx + ix
+					for _, u32 := range gi.items[gi.start[c]:gi.start[c+1]] {
+						u := int(u32)
+						if u == v {
+							continue
+						}
+						d := math.Hypot(gi.xs[u]-x, gi.ys[u]-y)
+						if cnt == k {
+							worst := ds[k-1]
+							if d > worst || (d == worst && u32 > ids[k-1]) { //lint:allow floateq (distance, id) tie-break must mirror the Dense build exactly
+								continue
+							}
+						}
+						// Insertion point by (distance, id), matching the
+						// Dense build's ordering bit-for-bit.
+						lo, hi := 0, cnt
+						for lo < hi {
+							mid := (lo + hi) / 2
+							if ds[mid] < d || (ds[mid] == d && ids[mid] < u32) { //lint:allow floateq (distance, id) tie-break must mirror the Dense build exactly
+								lo = mid + 1
+							} else {
+								hi = mid
+							}
+						}
+						if cnt < k {
+							cnt++
+						}
+						copy(ds[lo+1:cnt], ds[lo:cnt-1])
+						copy(ids[lo+1:cnt], ids[lo:cnt-1])
+						ds[lo] = d
+						ids[lo] = u32
+					}
+				}
+			}
+		}
+	}
+}
+
+// NearestExcluding returns the member nearest to member v whose comp
+// label differs from comp[v], among candidates strictly closer than
+// bound — pass math.Inf(1) for an unbounded query. Ties on distance go
+// to the smallest local id. It returns (-1, +Inf) when no member
+// qualifies. comp must have one entry per member.
+//
+// The bound is a pruning contract, not just a filter: candidates at
+// distance ≥ bound can be skipped entirely, which lets the Borůvka
+// caller pass its component's current best edge weight and stop ring
+// expansion as soon as the geometry proves no strictly better edge
+// exists (ties at the bound lose to the incumbent by the caller's
+// (weight, vertex, neighbor) order, so skipping them is exact).
+func (gi *GridIndex) NearestExcluding(v int, comp []int32, bound float64) (int, float64) {
+	cv := comp[v]
+	x, y := gi.xs[v], gi.ys[v]
+	cx, cy := int(gi.cx[v]), int(gi.cy[v])
+	best := -1
+	bd := bound
+	maxRing := gi.maxRing()
+	for r := 0; r <= maxRing; r++ {
+		if gi.ringLB(r) > bd {
+			break
+		}
+		x0, x1 := cx-r, cx+r
+		y0, y1 := cy-r, cy+r
+		for iy := y0; iy <= y1; iy++ {
+			if iy < 0 || iy >= gi.ny {
+				continue
+			}
+			step := 1
+			if iy != y0 && iy != y1 && x1 > x0 {
+				step = x1 - x0
+			}
+			for ix := x0; ix <= x1; ix += step {
+				if ix < 0 || ix >= gi.nx {
+					continue
+				}
+				c := iy*gi.nx + ix
+				for _, u32 := range gi.items[gi.start[c]:gi.start[c+1]] {
+					u := int(u32)
+					if u == v || comp[u] == cv {
+						continue
+					}
+					d := math.Hypot(gi.xs[u]-x, gi.ys[u]-y)
+					if d < bd || (d == bd && best != -1 && u < best) { //lint:allow floateq equal-distance smaller-id tie-break, deterministic by design
+						best, bd = u, d
+					}
+				}
+			}
+		}
+	}
+	if best == -1 {
+		return -1, math.Inf(1)
+	}
+	return best, bd
+}

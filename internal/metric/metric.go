@@ -102,6 +102,8 @@ func (s Sub) Dist(i, j int) float64 { return s.Parent.Dist(s.Idx[i], s.Idx[j]) }
 // are copied into fresh storage (a Matrix is row-copied without Dist
 // calls; a Sub gathers from its parent via Flatten). Callers must treat
 // any materialized space as read-only.
+//
+//lint:allow hotdist one-time O(n²) build, generic tail only for non-special spaces
 func Materialize(sp Space) Dense {
 	switch s := sp.(type) {
 	case Dense:
@@ -137,6 +139,8 @@ func Materialize(sp Space) Dense {
 // callers (the sweep worker loop) that materialize many spaces of
 // similar size in sequence. Unlike Materialize it always copies, never
 // aliases, so dst stays valid after sp is gone; sp must not alias dst.
+//
+//lint:allow hotdist one-time O(n²) build, generic tail only for non-special spaces
 func MaterializeInto(sp Space, dst *Dense) {
 	n := sp.Len()
 	if cap(dst.d) >= n*n {
@@ -172,6 +176,8 @@ func MaterializeInto(sp Space, dst *Dense) {
 // CheckTriangle verifies the triangle inequality on sp up to tolerance
 // eps, returning a descriptive error for the first violation found. It is
 // O(n^3) and intended for tests.
+//
+//lint:allow hotdist test-only O(n³) validation, never on a planning path
 func CheckTriangle(sp Space, eps float64) error {
 	n := sp.Len()
 	for i := 0; i < n; i++ {

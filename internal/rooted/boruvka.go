@@ -1,0 +1,150 @@
+package rooted
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/metric"
+)
+
+// msfBoruvka computes the exact MST of the depot-contracted space —
+// vertices 0..m-1 are the sensors, vertex m the super-root at toRoot
+// distances — without a distance matrix, using Borůvka rounds over a
+// grid index of the sensor coordinates. It is the sub-quadratic twin of
+// primContractedDense, selected by MSF when the space is a metric.Grid.
+//
+// Each round finds, for every component, its minimum-weight outgoing
+// edge: sensor–sensor candidates come from GridIndex.NearestExcluding
+// (exact nearest member outside the sensor's component, pruned by the
+// component's current best weight — a candidate at distance ≥ the best
+// cannot win, see below), and super-root candidates from the
+// precomputed toRoot array, credited to both endpoint components. The
+// chosen edges are merged through a union-find, skipping edges whose
+// endpoints an earlier merge of the round already connected (equal-
+// weight edge cycles — the only cycles Borůvka can produce — are
+// weight-neutral to skip, so total weight stays exactly the MST
+// weight). Components halve every round, so there are O(log m) rounds.
+//
+// Determinism: sensors are scanned in ascending index, so a component's
+// incumbent best edge always has the smallest (weight, sensor,
+// neighbor) among the candidates seen so far; later candidates must
+// beat it strictly on weight, which is why the pruning bound passed to
+// NearestExcluding is exact rather than heuristic. The edge set, the
+// resulting tree and its weight are a pure function of the input.
+func msfBoruvka(g *metric.Grid, sensors []int, toRoot []float64) graph.Tree {
+	m := len(sensors)
+	gi := g.SubIndex(sensors)
+	uf := graph.NewUnionFind(m + 1)
+
+	comp := make([]int32, m)
+	bestW := make([]float64, m+1)
+	bestV := make([]int, m+1)
+	bestU := make([]int, m+1)
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	edges := make([]edge, 0, m)
+	var weight float64
+
+	for uf.Sets() > 1 {
+		for v := 0; v < m; v++ {
+			comp[v] = int32(uf.Find(v))
+		}
+		rootComp := int32(uf.Find(m))
+		for c := 0; c <= m; c++ {
+			bestW[c] = math.Inf(1)
+		}
+		// offer proposes edge (v, u) of weight w as component c's
+		// outgoing edge, keeping the (weight, v, u)-lexicographic
+		// minimum.
+		offer := func(c int32, w float64, v, u int) {
+			i := int(c)
+			if w < bestW[i] ||
+				(w == bestW[i] && (v < bestV[i] || (v == bestV[i] && u < bestU[i]))) { //lint:allow floateq lexicographic (weight, v, u) edge tie-break, deterministic by design
+				bestW[i], bestV[i], bestU[i] = w, v, u
+			}
+		}
+		for v := 0; v < m; v++ {
+			c := comp[v]
+			// Query before offering v's root edge: the pruning bound then
+			// only reflects incumbents from earlier sensors, so an equal-
+			// weight candidate pruned by it is one that would have lost
+			// the (weight, v, u) tie-break anyway.
+			if u, d := gi.NearestExcluding(v, comp, bestW[c]); u >= 0 {
+				offer(c, d, v, u)
+			}
+			if c != rootComp {
+				w := toRoot[v]
+				offer(c, w, v, m)
+				offer(rootComp, w, v, m)
+			}
+		}
+		progress := false
+		for c := 0; c <= m; c++ {
+			if math.IsInf(bestW[c], 1) {
+				continue
+			}
+			if uf.Union(bestV[c], bestU[c]) {
+				edges = append(edges, edge{u: bestU[c], v: bestV[c], w: bestW[c]})
+				weight += bestW[c]
+				progress = true
+			}
+		}
+		if !progress {
+			// A complete geometric graph always offers every component an
+			// outgoing edge; reaching here means the index is broken.
+			panic("rooted: Borůvka round made no progress")
+		}
+	}
+	if len(edges) != m {
+		panic(fmt.Sprintf("rooted: Borůvka selected %d edges for %d sensors", len(edges), m))
+	}
+
+	// Orient the undirected tree away from the super-root with one BFS;
+	// the parent array of a tree is unique, so traversal order does not
+	// matter beyond determinism of the walk itself.
+	off := make([]int32, m+2)
+	for _, e := range edges {
+		off[e.u+1]++
+		off[e.v+1]++
+	}
+	for v := 0; v < m+1; v++ {
+		off[v+1] += off[v]
+	}
+	adj := make([]int32, 2*len(edges))
+	cur := make([]int32, m+1)
+	copy(cur, off[:m+1])
+	for _, e := range edges {
+		adj[cur[e.u]] = int32(e.v)
+		cur[e.u]++
+		adj[cur[e.v]] = int32(e.u)
+		cur[e.v]++
+	}
+	parent := make([]int, m+1)
+	seen := make([]bool, m+1)
+	for v := range parent {
+		parent[v] = -1
+	}
+	queue := make([]int32, 0, m+1)
+	queue = append(queue, int32(m))
+	seen[m] = true
+	for len(queue) > 0 {
+		v := int(queue[0])
+		queue = queue[1:]
+		for _, u := range adj[off[v]:off[v+1]] {
+			if !seen[u] {
+				seen[u] = true
+				parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v := 0; v < m; v++ {
+		if !seen[v] {
+			panic(fmt.Sprintf("rooted: Borůvka tree does not span sensor %d", v))
+		}
+	}
+	return graph.Tree{Parent: parent, Weight: weight}
+}

@@ -1,0 +1,157 @@
+package rooted
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/metric"
+)
+
+// gridAndDense returns a grid-backed and a dense-backed view of the
+// same random point set, so the two MSF code paths can be compared on
+// bit-identical distances.
+func gridAndDense(r *rand.Rand, n int) (*metric.Grid, metric.Dense, []geom.Point) {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(r.Float64()*1000, r.Float64()*1000)
+	}
+	return metric.NewGrid(pts), metric.Materialize(metric.NewEuclidean(pts)), pts
+}
+
+// TestBoruvkaMatchesPrim is the exactness property of the grid MSF
+// path: over random instances with n ≤ 300 and q ≤ 8, the Borůvka
+// forest built from the grid index has the same weight as the Prim
+// forest from the dense matrix (the optimum is unique in weight), and
+// both validate against the same depot/sensor sets. Point coordinates
+// are continuous, so the minimum forest is almost surely unique and
+// the two parent structures must agree exactly.
+func TestBoruvkaMatchesPrim(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, n := range []int{3, 10, 47, 120, 300} {
+		for _, q := range []int{1, 2, 5, 8} {
+			if q >= n {
+				continue
+			}
+			g, d, _ := gridAndDense(r, n)
+			depots, sensors := splitIndices(r, n, q)
+			fg := MSF(g, depots, sensors)
+			fd := MSF(d, depots, sensors)
+			if err := fg.Validate(g, depots, sensors); err != nil {
+				t.Fatalf("n=%d q=%d: grid forest invalid: %v", n, q, err)
+			}
+			if math.Abs(fg.Weight-fd.Weight) > 1e-9*(1+fd.Weight) {
+				t.Fatalf("n=%d q=%d: grid weight %.12g != dense weight %.12g", n, q, fg.Weight, fd.Weight)
+			}
+			for v := range fg.Parent {
+				if fg.Parent[v] != fd.Parent[v] {
+					t.Fatalf("n=%d q=%d: parent[%d] = %d (grid) vs %d (dense)",
+						n, q, v, fg.Parent[v], fd.Parent[v])
+				}
+			}
+		}
+	}
+}
+
+// TestBoruvkaDeterministic runs the grid MSF twice on the same input
+// and requires byte-identical results.
+func TestBoruvkaDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	g, _, _ := gridAndDense(r, 200)
+	depots, sensors := splitIndices(r, 200, 6)
+	a, _ := json.Marshal(MSF(g, depots, sensors))
+	b, _ := json.Marshal(MSF(g, depots, sensors))
+	if string(a) != string(b) {
+		t.Fatal("grid MSF not deterministic across runs")
+	}
+}
+
+// TestBoruvkaTies exercises the lexicographic (weight, v, u) edge
+// tie-breaking on a lattice, where almost every candidate edge has an
+// equal-weight twin: the grid forest must still be a valid minimum
+// forest of the same weight as the dense Prim forest.
+func TestBoruvkaTies(t *testing.T) {
+	var pts []geom.Point
+	for y := 0; y < 9; y++ {
+		for x := 0; x < 9; x++ {
+			pts = append(pts, geom.Pt(float64(x), float64(y)))
+		}
+	}
+	g := metric.NewGrid(pts)
+	d := metric.Materialize(metric.NewEuclidean(pts))
+	r := rand.New(rand.NewSource(23))
+	depots, sensors := splitIndices(r, len(pts), 4)
+	fg := MSF(g, depots, sensors)
+	fd := MSF(d, depots, sensors)
+	if err := fg.Validate(g, depots, sensors); err != nil {
+		t.Fatalf("lattice grid forest invalid: %v", err)
+	}
+	if math.Abs(fg.Weight-fd.Weight) > 1e-9*(1+fd.Weight) {
+		t.Fatalf("lattice: grid weight %.12g != dense weight %.12g", fg.Weight, fd.Weight)
+	}
+}
+
+// TestGridToursMatchDense checks the full Algorithm-2 pipeline on the
+// grid path — MSF, double-tree tours, refinement — against the dense
+// path on the same points: identical stop sequences and costs within
+// float tolerance.
+func TestGridToursMatchDense(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	for _, refine := range []bool{false, true} {
+		g, d, _ := gridAndDense(r, 250)
+		depots, sensors := splitIndices(r, 250, 6)
+		opt := Options{Refine: refine}
+		sg := Tours(g, depots, sensors, opt)
+		optD := opt
+		optD.Neighbors = d.NearestLists(metric.DefaultNearest)
+		sd := Tours(d, depots, sensors, optD)
+		if err := sg.Validate(g, depots, sensors); err != nil {
+			t.Fatalf("refine=%v: grid solution invalid: %v", refine, err)
+		}
+		if len(sg.Tours) != len(sd.Tours) {
+			t.Fatalf("refine=%v: %d grid tours vs %d dense tours", refine, len(sg.Tours), len(sd.Tours))
+		}
+		for i := range sg.Tours {
+			tg, td := sg.Tours[i], sd.Tours[i]
+			if tg.Depot != td.Depot || len(tg.Stops) != len(td.Stops) {
+				t.Fatalf("refine=%v tour %d: depot/len mismatch", refine, i)
+			}
+			for j := range tg.Stops {
+				if tg.Stops[j] != td.Stops[j] {
+					t.Fatalf("refine=%v tour %d stop %d: %d (grid) vs %d (dense)",
+						refine, i, j, tg.Stops[j], td.Stops[j])
+				}
+			}
+			if math.Abs(tg.Cost-td.Cost) > 1e-9*(1+td.Cost) {
+				t.Fatalf("refine=%v tour %d: cost %.12g (grid) vs %.12g (dense)",
+					refine, i, tg.Cost, td.Cost)
+			}
+		}
+	}
+}
+
+// TestParallelToursMatchSerial pins the intra-plan parallelism
+// contract: with Workers > 1 the solution must be byte-identical to
+// the serial build, on both the grid and dense paths, with refinement
+// on. Run under -race this also proves the worker pool is data-race
+// free.
+func TestParallelToursMatchSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	g, d, _ := gridAndDense(r, 300)
+	depots, sensors := splitIndices(r, 300, 8)
+	for name, sp := range map[string]metric.Space{"grid": g, "dense": d} {
+		opt := Options{Refine: true}
+		if dd, ok := metric.AsDense(sp); ok {
+			opt.Neighbors = dd.NearestLists(metric.DefaultNearest)
+		}
+		serial, _ := json.Marshal(Tours(sp, depots, sensors, opt))
+		optP := opt
+		optP.Workers = 8
+		parallel, _ := json.Marshal(Tours(sp, depots, sensors, optP))
+		if string(serial) != string(parallel) {
+			t.Fatalf("%s: parallel solution differs from serial", name)
+		}
+	}
+}

@@ -146,6 +146,11 @@ func (f Forest) Validate(sp metric.Space, depots, sensors []int) error {
 // algorithm in O((|sensors|+q)^2), and the MST is un-contracted by mapping
 // each root edge back to the depot that realized its weight.
 //
+// When sp is a metric.Grid (no Dense matrix available), the contracted
+// MST is computed by msfBoruvka instead — exact Borůvka rounds over the
+// grid's spatial index, sub-quadratic on uniform inputs — so large
+// instances never pay Prim's O(n²) scan or the O(n²) matrix it wants.
+//
 // Depots and sensors must be disjoint non-empty/empty index sets into sp;
 // MSF panics on overlapping sets or an empty depot list, since those are
 // caller bugs rather than data conditions.
@@ -185,16 +190,30 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 	nearest := make([]int, len(sensors))
 	toNearest := make([]float64, len(sensors))
 	dense, isDense := metric.AsDense(sp)
+	var grid *metric.Grid
+	if !isDense {
+		grid, _ = metric.AsGrid(sp)
+	}
 	for i, s := range sensors {
 		best, bd := -1, math.Inf(1)
-		if isDense {
+		switch {
+		case isDense:
 			row := dense.Row(s)
 			for _, d := range depots {
 				if w := row[d]; w < bd {
 					best, bd = d, w
 				}
 			}
-		} else {
+		case grid != nil:
+			// Concrete point math, no per-distance interface dispatch:
+			// O(q) per sensor, q is small.
+			pts := grid.Points()
+			for _, d := range depots {
+				if w := pts[s].Dist(pts[d]); w < bd {
+					best, bd = d, w
+				}
+			}
+		default:
 			for _, d := range depots {
 				if w := sp.Dist(s, d); w < bd { //lint:allow hotdist non-Dense fallback twin of the row loop above
 					best, bd = d, w
@@ -204,9 +223,15 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 		nearest[i], toNearest[i] = best, bd
 	}
 	var mst graph.Tree
-	if isDense {
+	switch {
+	case isDense:
 		mst = primContractedDense(dense, sensors, toNearest)
-	} else {
+	case grid != nil:
+		// Sub-quadratic path: exact Borůvka MSF over the grid index, no
+		// O(n²) matrix. Same tree weight as Prim (the MST is unique up
+		// to equal-weight edge swaps, which are weight-neutral).
+		mst = msfBoruvka(grid, sensors, toNearest)
+	default:
 		c := contracted{sp: sp, sensors: sensors, toRoot: toNearest}
 		mst = graph.PrimMST(c, len(sensors)) // root Prim at the super-root
 	}

@@ -2,6 +2,7 @@ package rooted
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -41,6 +42,13 @@ type Options struct {
 	// nanoseconds spent in local-search refinement, so harnesses can
 	// split planning time into construction and refinement phases.
 	RefineNs *int64
+	// Workers, when > 1, builds (and refines) the q tours of a solution
+	// concurrently on that many goroutines. Tours are independent and
+	// land in fixed depot-order slots, and every worker gets its own
+	// tsp.Scratch, so the Solution is byte-identical to the serial
+	// result — TestIntraPlanParallelDeterminism pins that under -race.
+	// 0 or 1 means serial; the shared Scratch above is only used then.
+	Workers int
 }
 
 func (o Options) refineRounds() int {
@@ -63,6 +71,8 @@ func (o Options) refine(sp metric.Space, tour []int) []int {
 	if d, ok := metric.AsDense(sp); ok && o.Neighbors != nil {
 		tour, _ = tsp.TwoOptLists(d, o.Neighbors, tour, rounds, o.Scratch)
 		tour, _ = tsp.OrOptLists(d, o.Neighbors, tour, rounds, o.Scratch)
+	} else if g, ok := metric.AsGrid(sp); ok {
+		tour = refineOnGrid(g, tour, rounds, o.Scratch)
 	} else {
 		tour, _ = tsp.TwoOpt(sp, tour, rounds)
 		tour, _ = tsp.OrOpt(sp, tour, rounds)
@@ -71,6 +81,44 @@ func (o Options) refine(sp metric.Space, tour []int) []int {
 		atomic.AddInt64(o.RefineNs, int64(time.Since(t0))) //lint:allow walltime RefineNs diagnostic timing, never feeds results
 	}
 	return tour
+}
+
+// gridRefineCap bounds the per-tour local-search footprint on the grid
+// path: a tour of m vertices flattens into an m×m Dense (8m² bytes)
+// for the candidate-list sweeps, so m is capped where that stays ≈
+// 130 MB. Longer tours are returned construction-only — the paper's
+// Algorithm 2 does not refine either, and the cap keeps the large-n
+// memory guarantee (peak heap ≪ O(n²)) unconditional. DESIGN.md §12
+// documents the policy.
+const gridRefineCap = 4096
+
+// refineOnGrid runs the 2-opt + Or-opt polish on one tour of a Grid
+// space: the tour's vertices are flattened into a local Dense (O(m²)
+// for the tour only, never the whole space) and candidate lists are
+// built from a grid sub-index in O(m·k), then the exact candidate-list
+// sweeps run as on the dense path. Distances gathered either way are
+// the same math.Hypot values, and the list sweeps are bit-identical to
+// full sweeps, so the refined tour matches what the dense path would
+// produce on the same instance.
+func refineOnGrid(g *metric.Grid, tour []int, rounds int, sc *tsp.Scratch) []int {
+	m := len(tour)
+	if m < 4 || m > gridRefineCap {
+		return tour
+	}
+	d := metric.NewSub(g, tour).Flatten()
+	var nl metric.NearestLists
+	g.SubIndex(tour).BuildLists(&nl, metric.DefaultNearest)
+	local := make([]int, m)
+	for i := range local {
+		local[i] = i
+	}
+	local, _ = tsp.TwoOptLists(d, &nl, local, rounds, sc)
+	local, _ = tsp.OrOptLists(d, &nl, local, rounds, sc)
+	out := make([]int, m)
+	for i, li := range local {
+		out[i] = tour[li]
+	}
+	return out
 }
 
 // Tour is one closed charging tour: the depot vertex followed by the
@@ -139,18 +187,57 @@ func Tours(sp metric.Space, depots, sensors []int, opt Options) Solution {
 // ToursFromForest converts an existing q-rooted forest into rooted closed
 // tours, one per depot, without recomputing the forest. It is split out
 // so the variable-cycle heuristic can re-tour a patched forest.
+//
+// With opt.Workers > 1 the depot trees are built and refined
+// concurrently: workers claim depot indices from an atomic counter,
+// each with a private tsp.Scratch, and write finished tours into their
+// fixed depot-order slots. Tour construction is a pure function of
+// (sp, forest, depot, options minus Scratch), so the merged Solution is
+// byte-identical to the serial one regardless of scheduling.
 func ToursFromForest(sp metric.Space, f Forest, opt Options) Solution {
 	sol := Solution{ForestWeight: f.Weight}
 	off, kids := f.childrenCSR()
-	for _, d := range f.Depots {
+	sol.Tours = make([]Tour, len(f.Depots))
+	build := func(li int, o Options) {
+		d := f.Depots[li]
 		members := f.treeFrom(off, kids, d)
 		t := Tour{Depot: d}
 		if len(members) > 1 {
-			t.Stops = tourFromTree(sp, f.Parent, members, d, opt)
+			t.Stops = tourFromTree(sp, f.Parent, members, d, o)
 			t.Cost = tsp.Cost(sp, t.Vertices())
 		}
-		sol.Tours = append(sol.Tours, t)
+		sol.Tours[li] = t
 	}
+	workers := opt.Workers
+	if workers > len(f.Depots) {
+		workers = len(f.Depots)
+	}
+	if workers <= 1 {
+		for li := range f.Depots {
+			build(li, opt)
+		}
+		return sol
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The caller's Scratch must not be shared across workers;
+			// each goroutine gets its own arena for the whole claim loop.
+			o := opt
+			o.Scratch = &tsp.Scratch{}
+			for {
+				li := int(next.Add(1)) - 1
+				if li >= len(f.Depots) {
+					return
+				}
+				build(li, o)
+			}
+		}()
+	}
+	wg.Wait()
 	return sol
 }
 

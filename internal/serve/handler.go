@@ -54,6 +54,7 @@ func NewHandler(s *Server) http.Handler {
 // mapping serve errors to HTTP statuses:
 //
 //	malformed request        → 400
+//	body over MaxBodyBytes   → 413
 //	queue full (shed)        → 503 + Retry-After
 //	deadline exceeded        → 504
 //	caller canceled          → 408
@@ -66,6 +67,11 @@ func handlePlan(s *Server, w http.ResponseWriter, r *http.Request) {
 	data, err := readAll(r)
 	if err != nil {
 		s.Metrics().Requests.With(OutcomeError).Inc()
+		var tooLarge *BodyTooLargeError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, tooLarge.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
@@ -115,10 +121,17 @@ func handlePlan(s *Server, w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(res.Body)
 }
 
-// readAll drains the (size-capped) request body.
+// readAll drains the (size-capped) request body, converting the
+// net/http size-cap error into the typed BodyTooLargeError the status
+// mapping above switches on.
 func readAll(r *http.Request) ([]byte, error) {
 	defer func() { _ = r.Body.Close() }()
-	return io.ReadAll(r.Body)
+	data, err := io.ReadAll(r.Body)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return nil, &BodyTooLargeError{Limit: mbe.Limit}
+	}
+	return data, err
 }
 
 // writeError sends a JSON error body with the given status.

@@ -97,6 +97,31 @@ func TestHandlerPlan(t *testing.T) {
 	}
 }
 
+// TestHandlerBodyTooLarge checks that a body over MaxBodyBytes is
+// rejected with the typed 413, not a generic 400, and that the error
+// body names the limit.
+func TestHandlerBodyTooLarge(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(NewHandler(srv))
+	defer ts.Close()
+
+	huge := bytes.NewReader(make([]byte, MaxBodyBytes+1))
+	resp, err := http.Post(ts.URL+"/plan", "application/json", huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (body %q)", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil || !strings.Contains(eb.Error, "bytes") {
+		t.Fatalf("413 body %q is not the JSON error shape naming the limit", body)
+	}
+}
+
 // TestHandlerShedAndHealth checks the 503 + Retry-After mapping with a
 // saturated pool, and the healthz and metrics endpoints.
 func TestHandlerShedAndHealth(t *testing.T) {

@@ -41,6 +41,10 @@ type Metrics struct {
 	// chargerd_plan_refine_seconds sub-phase, wrapping the planners'
 	// RefineNs accounting.
 	Tracer *obs.Tracer
+	// HeapBytes is the in-use heap sampled after each plan
+	// (chargerd_heap_inuse_bytes) — the gauge the large-n memory
+	// guarantee (peak well below O(n²); DESIGN.md §12) is monitored by.
+	HeapBytes *obs.MemGauge
 }
 
 // NewMetrics registers the serving metrics on reg (a nil reg gets a
@@ -58,7 +62,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Coalesced:   reg.Counter("chargerd_coalesced_total", "requests joined onto an identical in-flight plan"),
 		RequestLatency: reg.Histogram("chargerd_request_seconds",
 			"end-to-end request latency in seconds", nil),
-		Tracer: obs.NewTracer(reg, "chargerd"),
+		Tracer:    obs.NewTracer(reg, "chargerd"),
+		HeapBytes: obs.NewMemGauge(reg, "chargerd_heap_inuse_bytes", "heap bytes in use, sampled after each plan"),
 	}
 }
 

@@ -3,9 +3,11 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/metric"
 	"repro/internal/rooted"
 )
 
@@ -94,8 +96,17 @@ func planInto(req *PlanRequest, ws *experiment.Scratch) (*PlanResponse, planStat
 	pr := experiment.PrepareNetInto(net, ws)
 	resp := &PlanResponse{Algorithm: req.Algorithm, N: net.N(), Q: net.Q()}
 
+	// Above the dense threshold the plan runs on the grid path; the q
+	// tours are then built concurrently — deterministically, the merged
+	// solution is byte-identical to serial (rooted.Options.Workers) — so
+	// one large request uses the machine instead of one core.
+	workers := 0
+	if _, isGrid := metric.AsGrid(pr.Space); isGrid {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
 	if !spec.schedule {
-		opt := rooted.Options{Refine: req.Algorithm == experiment.AlgoQRootedRefined}
+		opt := rooted.Options{Refine: req.Algorithm == experiment.AlgoQRootedRefined, Workers: workers}
 		pr.TourOptions(&opt, &st.refineNs)
 		sol := rooted.Tours(pr.Space, net.DepotIndices(), net.SensorIndices(), opt)
 		resp.Cost = sol.Cost()
@@ -106,6 +117,7 @@ func planInto(req *PlanRequest, ws *experiment.Scratch) (*PlanResponse, planStat
 	}
 
 	opt := core.FixedOptions{Base: req.Base, Space: pr.Space}
+	opt.Rooted.Workers = workers
 	switch req.Algorithm {
 	case experiment.AlgoMTDRefined:
 		opt.Rooted.Refine = true

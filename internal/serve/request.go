@@ -16,8 +16,11 @@ import (
 // before any planning starts, so a malformed or hostile payload is
 // rejected in the decoder, not in the worker pool.
 const (
-	// MaxSensors caps the sensors per request.
-	MaxSensors = 5000
+	// MaxSensors caps the sensors per request. Topologies above
+	// metric.DenseLimit plan on the grid path — O(n) memory, no n×n
+	// matrix — so the cap is set by response size and planning time, not
+	// by quadratic planner memory.
+	MaxSensors = 50000
 	// MaxDepots caps the depots per request.
 	MaxDepots = 64
 	// MaxRounds caps T / min-cycle, the number of dispatch rounds a
@@ -142,6 +145,20 @@ type RequestError struct {
 
 // Error implements error.
 func (e *RequestError) Error() string { return "serve: bad request: " + e.Reason }
+
+// BodyTooLargeError reports a /plan body that exceeded the server's
+// size cap before it was fully read; the HTTP handler maps it to
+// status 413 (Request Entity Too Large) rather than a generic 400, so
+// clients can tell "shrink the payload" from "fix the payload".
+type BodyTooLargeError struct {
+	// Limit is the configured body cap in bytes.
+	Limit int64
+}
+
+// Error implements error.
+func (e *BodyTooLargeError) Error() string {
+	return fmt.Sprintf("serve: request body exceeds %d bytes", e.Limit)
+}
 
 func badRequest(format string, args ...any) error {
 	return &RequestError{fmt.Sprintf(format, args...)}

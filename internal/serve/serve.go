@@ -304,6 +304,9 @@ func (s *Server) worker() {
 		body, st, err := s.planFn(fl.req, &ws)
 		sp.Phase("refine", time.Duration(st.refineNs))
 		sp.End()
+		// Sample heap right after planning, when per-request allocation
+		// peaks — the signal the large-n memory guarantee is watched by.
+		s.met.HeapBytes.Update()
 
 		if err == nil && s.cache != nil {
 			s.cache.put(fl.key, fl.req.Network(), body)

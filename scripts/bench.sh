@@ -11,6 +11,11 @@
 # Extra stability knobs: BENCHTIME (default 3x), COUNT (default 3;
 # the parser keeps the per-field median across the COUNT runs), and
 # THRESHOLD (default 0.15 — fractional ns/op growth that fails check).
+#
+# LARGE=1 also runs the LargePlan grid/dense suite (single-shot, with
+# heap-bytes) and folds it into the same baseline. Capture defaults to
+# LARGE=1 so committed baselines record the large-n numbers; check
+# defaults to LARGE=0 so the regression gate stays fast.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,9 +27,18 @@ PATTERN='Fig|Ablation'
 
 capture() {
     out="$1"
-    go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" \
-        -count "$COUNT" -benchmem -timeout 1800s . |
-        go run ./cmd/bench -parse -o "$out"
+    label="${2:-}"
+    {
+        go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" \
+            -count "$COUNT" -benchmem -timeout 1800s .
+        if [ "${LARGE:-0}" = 1 ]; then
+            # Large-n cells are single-shot by design: one end-to-end
+            # plan is the unit, and the heap-bytes metric is a footprint
+            # sample, not a per-op rate worth averaging.
+            go test -run '^$' -bench 'LargePlan' -benchtime 1x \
+                -count 1 -timeout 1800s .
+        fi
+    } | go run ./cmd/bench -parse ${label:+-label "$label"} -o "$out"
     echo "wrote $out" >&2
 }
 
@@ -37,7 +51,8 @@ capture)
         echo "refusing to record baseline: make lint failed" >&2
         exit 1
     }
-    capture "BENCH_$2.json"
+    LARGE="${LARGE:-1}"
+    capture "BENCH_$2.json" "$2"
     ;;
 check)
     base="${2:-BENCH_seed.json}"
