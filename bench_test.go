@@ -292,6 +292,12 @@ func BenchmarkLargePlanGrid(b *testing.B) {
 			})
 		}
 	}
+	// The headline cell: one million sensors through the compact grid
+	// index, sharded Borůvka, and pooled arenas. q=20 only — one plan
+	// takes minutes, and the q sweep adds nothing at this scale.
+	b.Run("n=1000000/q=20", func(b *testing.B) {
+		benchLargePlan(b, 1000000, 20, false)
+	})
 }
 
 // BenchmarkLargePlanDense forces the O(n²) dense path on the same

@@ -50,6 +50,7 @@ func main() {
 		label      = flag.String("label", "", "with -parse: stamp the baseline with this capture label (e.g. pr5)")
 		compare    = flag.Bool("compare", false, "compare two baselines: -compare BASE.json CURRENT.json")
 		threshold  = flag.Float64("threshold", 0.15, "fractional ns/op growth that counts as a regression")
+		heapThresh = flag.Float64("heap-threshold", 0.25, "fractional heap_bytes growth that counts as a regression (rows where both baselines carry a sample)")
 		profile    = flag.String("profile", "", "run figure <id> (e.g. 5 or fig5) under the profiler")
 		cpuprofile = flag.String("cpuprofile", "", "with -profile: write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "with -profile: write a heap profile to this file")
@@ -57,6 +58,7 @@ func main() {
 		topologies = flag.Int("topologies", 10, "with -profile: networks per data point")
 		large      = flag.String("large", "", "time one large-n plan: \"N,Q\" (e.g. 50000,20); prints a benchmark line")
 		dense      = flag.Bool("dense", false, "with -large: force the dense O(n²) path instead of the auto-selected grid")
+		refine     = flag.Bool("refine", false, "with -large: run 2-opt/Or-opt refinement on every tour (the on-grid sweeps at large n)")
 		maxheap    = flag.Int64("maxheap", 0, "with -large: exit 1 if the post-plan heap footprint exceeds this many bytes")
 	)
 	flag.Parse()
@@ -67,7 +69,7 @@ func main() {
 			os.Exit(2)
 		}
 	case *large != "":
-		over, err := runLarge(*large, *dense, *maxheap)
+		over, err := runLarge(*large, *dense, *refine, *maxheap)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(2)
@@ -85,7 +87,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench: -compare needs exactly two baseline files")
 			os.Exit(2)
 		}
-		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		regressed, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *heapThresh)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(2)
@@ -133,7 +135,7 @@ func runParse(in, out, label string) error {
 	return benchfmt.Write(w, parsed)
 }
 
-func runCompare(basePath, curPath string, threshold float64) (bool, error) {
+func runCompare(basePath, curPath string, threshold, heapThreshold float64) (bool, error) {
 	base, err := readBaseline(basePath)
 	if err != nil {
 		return false, err
@@ -142,17 +144,27 @@ func runCompare(basePath, curPath string, threshold float64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	deltas := benchfmt.Compare(base, cur, threshold)
+	deltas := benchfmt.Compare(base, cur, threshold, heapThreshold)
 	if len(deltas) == 0 {
 		return false, fmt.Errorf("baselines %s and %s share no benchmarks", basePath, curPath)
 	}
 	for _, d := range deltas {
 		status := "ok"
-		if d.Regression {
+		switch {
+		case d.NsRegr && d.HeapRegr:
+			status = "REGRESSION (ns, heap)"
+		case d.NsRegr:
 			status = "REGRESSION"
+		case d.HeapRegr:
+			status = "REGRESSION (heap)"
 		}
-		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  %5.2fx  %s\n",
-			d.Name, d.BaseNs, d.CurNs, d.Ratio, status)
+		line := fmt.Sprintf("%-40s %12.0f -> %12.0f ns/op  %5.2fx",
+			d.Name, d.BaseNs, d.CurNs, d.Ratio)
+		if d.HeapRatio > 0 {
+			line += fmt.Sprintf("  %4d -> %4d heap-MB  %5.2fx",
+				int64(d.BaseHeap)>>20, int64(d.CurHeap)>>20, d.HeapRatio)
+		}
+		fmt.Printf("%s  %s\n", line, status)
 	}
 	return benchfmt.AnyRegression(deltas), nil
 }
@@ -221,7 +233,7 @@ func runProfile(fig, cpuPath, memPath string, reps, topologies int) error {
 // returns over=true when exceeded; the caller exits 1). -dense forces
 // the quadratic dense path for paired speedup measurements; it refuses
 // n > 20000, where the matrix alone would pass 3 GB.
-func runLarge(spec string, dense bool, maxheap int64) (over bool, err error) {
+func runLarge(spec string, dense, refine bool, maxheap int64) (over bool, err error) {
 	nStr, qStr, ok := strings.Cut(spec, ",")
 	if !ok {
 		return false, fmt.Errorf("-large wants \"N,Q\", got %q", spec)
@@ -248,13 +260,16 @@ func runLarge(spec string, dense bool, maxheap int64) (over bool, err error) {
 	if err != nil {
 		return false, err
 	}
-	opt := core.FixedOptions{Rooted: rooted.Options{Workers: runtime.GOMAXPROCS(0)}}
+	opt := core.FixedOptions{Rooted: rooted.Options{Workers: runtime.GOMAXPROCS(0), Refine: refine}}
 	path := "grid"
 	if dense {
 		path = "dense"
 		opt.Space = metric.Materialize(net.Space())
-	} else if len(net.Points()) > metric.DenseLimit {
+	} else if net.N()+net.Q() > metric.DenseLimit {
 		opt.Space = metric.NewGrid(net.Points())
+	}
+	if refine {
+		path += "+refine"
 	}
 	start := time.Now()
 	plan, err := core.PlanFixed(net, p.T, opt)

@@ -28,6 +28,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,8 +82,18 @@ func main() {
 		minRPS     = flag.Float64("min-rps", 0, "assert at least this throughput (0 = off)")
 		maxP99     = flag.Float64("max-p99-ms", 0, "assert p99 latency at most this many ms (0 = off)")
 		minHit     = flag.Float64("min-hitrate", 0, "assert at least this cache hit rate (0 = off)")
+		large      = flag.String("large", "", "one-shot large-topology mode: \"N,Q\" planned through the server's grid path instead of the closed-loop workload")
+		maxHeap    = flag.Int64("maxheap", 0, "with -large: exit 1 if chargerd_heap_inuse_bytes exceeds this after planning (0 = report only)")
 	)
 	flag.Parse()
+
+	if *large != "" {
+		if err := runLarge(*url, *large, *algo, *period, *seed, *maxHeap); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	bodies := makeBodies(*n, *q, *topologies, *algo, *period, *seed)
 	client := &http.Client{Timeout: 60 * time.Second}
@@ -207,6 +219,76 @@ func main() {
 	if fail {
 		os.Exit(1)
 	}
+}
+
+// runLarge exercises the server's large-n grid path end to end: one
+// N,Q topology (N above metric.DenseLimit selects the grid planner
+// server-side), POSTed once, then the server's own
+// chargerd_heap_inuse_bytes gauge — sampled by its worker after the
+// plan — is scraped from /metrics and checked against -maxheap. This
+// gates the whole serving stack's resident footprint (decode buffers,
+// cross-request arenas, response encoding), not just the planner the
+// in-process benchmarks measure.
+func runLarge(url, spec, algo string, period float64, seed uint64, maxHeap int64) error {
+	nStr, qStr, ok := strings.Cut(spec, ",")
+	if !ok {
+		return fmt.Errorf("-large wants \"N,Q\", got %q", spec)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(nStr))
+	if err != nil {
+		return fmt.Errorf("-large N: %v", err)
+	}
+	q, err := strconv.Atoi(strings.TrimSpace(qStr))
+	if err != nil {
+		return fmt.Errorf("-large Q: %v", err)
+	}
+	if n < 1 || q < 1 {
+		return fmt.Errorf("-large wants positive N,Q, got %d,%d", n, q)
+	}
+	body := makeBodies(n, q, 1, algo, period, seed)[0]
+	client := &http.Client{Timeout: 30 * time.Minute}
+	start := time.Now()
+	status, _, err := post(client, url+"/plan", body)
+	elapsed := time.Since(start)
+	if err != nil {
+		return fmt.Errorf("large plan n=%d q=%d: %v", n, q, err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("large plan n=%d q=%d: status %d", n, q, status)
+	}
+	heap, err := scrapeGauge(client, url+"/metrics", "chargerd_heap_inuse_bytes")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("BenchmarkLoadgenLargePlan/n=%d/q=%d 1 %d ns/op %.0f heap-bytes\n",
+		n, q, elapsed.Nanoseconds(), heap)
+	fmt.Fprintf(os.Stderr, "loadgen: large plan n=%d q=%d: %s, server heap %.0f MB\n",
+		n, q, elapsed.Round(time.Millisecond), heap/(1<<20))
+	if maxHeap > 0 && heap > float64(maxHeap) {
+		return fmt.Errorf("server heap %.0f bytes exceeds -maxheap %d", heap, maxHeap)
+	}
+	return nil
+}
+
+// scrapeGauge fetches a Prometheus-format metrics page and returns the
+// value of the named (unlabelled) gauge.
+func scrapeGauge(client *http.Client, url, name string) (float64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		return strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name)), 64)
+	}
+	return 0, fmt.Errorf("gauge %s not found at %s", name, url)
 }
 
 // makeBodies pre-encodes the workload's distinct topologies.

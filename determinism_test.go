@@ -92,3 +92,48 @@ func TestIntraPlanParallelDeterminism(t *testing.T) {
 		t.Fatal("plan differs between Workers=1 and Workers=8")
 	}
 }
+
+// TestLargeGridParallelDeterminism is the Workers-independence contract
+// at a size where every parallel large-n machine actually engages:
+// n=5000 exceeds metric.DenseLimit, so PlanFixed auto-selects the grid
+// space, the MSF runs the sharded Borůvka (component count over its
+// parallel gate), and refinement takes the on-grid candidate-list
+// sweeps. Workers=1 and Workers=8 must still serialize byte-identically
+// — the sharded nearest-neighbor pass may not reorder or retie a single
+// merge. Under -race this is also the race check for the Borůvka fan-out
+// and the pooled MSF arenas.
+func TestLargeGridParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-n plan in -short mode")
+	}
+	p := experiment.Params{
+		N: 5000, Q: 10, TauMin: 1, TauMax: 20,
+		DistName: "random", T: 40, Seed: 7,
+	}
+	net, err := p.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N()+net.Q() <= metric.DenseLimit {
+		t.Fatalf("n+q = %d does not exceed DenseLimit %d; test would not cover the grid path", net.N()+net.Q(), metric.DenseLimit)
+	}
+	plan := func(workers int) []byte {
+		t.Helper()
+		// No Space override: exercises PlanFixed's own auto-grid branch.
+		opt := core.FixedOptions{Rooted: rooted.Options{Refine: true, Workers: workers}}
+		pl, err := core.PlanFixed(net, p.T, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := plan(1)
+	parallel := plan(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("large-n grid plan differs between Workers=1 and Workers=8")
+	}
+}

@@ -220,21 +220,32 @@ func ReadFile(r io.Reader) (File, error) {
 
 // Delta is one benchmark's comparison between a baseline and a current
 // capture. Ratio is current/baseline ns/op: 1.10 means 10% slower,
-// 0.50 means twice as fast.
+// 0.50 means twice as fast. When both captures carry a heap_bytes
+// sample the heap fields mirror the ns fields (HeapRatio 0 otherwise);
+// Regression flags either axis over its threshold.
 type Delta struct {
 	Name       string
 	BaseNs     float64
 	CurNs      float64
 	Ratio      float64
+	BaseHeap   float64
+	CurHeap    float64
+	HeapRatio  float64
+	NsRegr     bool
+	HeapRegr   bool
 	Regression bool
 }
 
 // Compare pairs two baselines by benchmark name and flags every
 // benchmark whose ns/op grew by more than threshold (0.15 = fail at
-// >15% slower). Benchmarks present in only one file are skipped — a
-// renamed or added benchmark is not a regression. Deltas come back
-// sorted by descending ratio, worst first.
-func Compare(base, cur File, threshold float64) []Delta {
+// >15% slower) or whose heap_bytes grew by more than heapThreshold.
+// The axes gate independently — a memory regression no longer hides
+// behind a speedup, which is exactly how a dropped arena reuse would
+// present. Heap is only compared where both files have a sample, so
+// ns-only baselines keep working. Benchmarks present in only one file
+// are skipped — a renamed or added benchmark is not a regression.
+// Deltas come back sorted by descending worst-axis ratio, worst first.
+func Compare(base, cur File, threshold, heapThreshold float64) []Delta {
 	baseBy := map[string]Result{}
 	for _, r := range base.Results {
 		baseBy[r.Name] = r
@@ -251,11 +262,26 @@ func Compare(base, cur File, threshold float64) []Delta {
 			CurNs:  c.NsPerOp,
 			Ratio:  c.NsPerOp / b.NsPerOp,
 		}
-		d.Regression = d.Ratio > 1+threshold
+		d.NsRegr = d.Ratio > 1+threshold
+		if b.HeapBytes > 0 && c.HeapBytes > 0 {
+			d.BaseHeap = b.HeapBytes
+			d.CurHeap = c.HeapBytes
+			d.HeapRatio = c.HeapBytes / b.HeapBytes
+			d.HeapRegr = d.HeapRatio > 1+heapThreshold
+		}
+		d.Regression = d.NsRegr || d.HeapRegr
 		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	sort.Slice(out, func(i, j int) bool { return out[i].worst() > out[j].worst() })
 	return out
+}
+
+// worst returns the delta's most regressed axis ratio.
+func (d Delta) worst() float64 {
+	if d.HeapRatio > d.Ratio {
+		return d.HeapRatio
+	}
+	return d.Ratio
 }
 
 // AnyRegression reports whether any delta is flagged.

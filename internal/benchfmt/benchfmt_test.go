@@ -156,7 +156,7 @@ func TestCompare(t *testing.T) {
 		{Name: "B", NsPerOp: 120}, // +20%: regression
 		{Name: "New", NsPerOp: 50},
 	}}
-	deltas := Compare(base, cur, 0.15)
+	deltas := Compare(base, cur, 0.15, 0.25)
 	if len(deltas) != 2 {
 		t.Fatalf("got %d deltas, want 2 (unpaired skipped): %+v", len(deltas), deltas)
 	}
@@ -170,7 +170,38 @@ func TestCompare(t *testing.T) {
 	if !AnyRegression(deltas) {
 		t.Error("AnyRegression = false")
 	}
-	if AnyRegression(Compare(base, base, 0.15)) {
+	if AnyRegression(Compare(base, base, 0.15, 0.25)) {
 		t.Error("self-comparison flagged a regression")
+	}
+}
+
+// TestCompareHeap pins the independent heap axis: a memory regression
+// fails the gate even when ns/op improves, heap is only compared where
+// both sides carry a sample, and the worst axis drives the sort.
+func TestCompareHeap(t *testing.T) {
+	base := File{Results: []Result{
+		{Name: "Mem", NsPerOp: 100, HeapBytes: 1 << 20},
+		{Name: "NsOnly", NsPerOp: 100},
+		{Name: "Both", NsPerOp: 100, HeapBytes: 1 << 20},
+	}}
+	cur := File{Results: []Result{
+		{Name: "Mem", NsPerOp: 50, HeapBytes: 2 << 20}, // 2x faster, 2x more memory
+		{Name: "NsOnly", NsPerOp: 100, HeapBytes: 1 << 30},
+		{Name: "Both", NsPerOp: 105, HeapBytes: 1<<20 + 1<<18}, // +25% heap: at threshold, not over
+	}}
+	deltas := Compare(base, cur, 0.15, 0.25)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3: %+v", len(deltas), deltas)
+	}
+	if deltas[0].Name != "Mem" || !deltas[0].HeapRegr || deltas[0].NsRegr || !deltas[0].Regression {
+		t.Errorf("Mem delta = %+v, want heap-only regression sorted first", deltas[0])
+	}
+	for _, d := range deltas[1:] {
+		if d.Regression {
+			t.Errorf("delta %+v flagged, want clean (heap unpaired or within threshold)", d)
+		}
+		if d.Name == "NsOnly" && d.HeapRatio != 0 {
+			t.Errorf("NsOnly heap ratio %g, want 0 (no baseline sample)", d.HeapRatio)
+		}
 	}
 }

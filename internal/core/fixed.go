@@ -134,12 +134,20 @@ func PlanFixed(net *wsn.Network, T float64, opt FixedOptions) (*FixedPlan, error
 	classes, K := classify(cycles, tau1, base)
 
 	// Build the K+1 prefix solutions D_0..D_K. D_k covers V_0..V_k.
+	// Each prefix is a prefix of the next, and the sensor lists are
+	// read-only downstream, so all K+1 share one cumulative backing
+	// array instead of K+1 copies — at n=1M that is one 8 MB array, not
+	// ~40 MB of near-duplicates.
 	sols := make([]rooted.Solution, K+1)
 	prefixes := make([][]int, K+1)
-	var prefix []int
+	total := 0
+	for k := 0; k <= K; k++ {
+		total += len(classes[k])
+	}
+	prefix := make([]int, 0, total)
 	for k := 0; k <= K; k++ {
 		prefix = append(prefix, classes[k]...)
-		prefixes[k] = append([]int(nil), prefix...)
+		prefixes[k] = prefix[:len(prefix):len(prefix)]
 	}
 	build := func(k int) error {
 		sols[k] = rooted.Tours(space, depots, prefixes[k], opt.Rooted)
@@ -169,7 +177,12 @@ func PlanFixed(net *wsn.Network, T float64, opt FixedOptions) (*FixedPlan, error
 			}
 		}
 	} else {
-		for k := 0; k <= K; k++ {
+		// Largest prefix first: the solutions are independent, so order
+		// is free, and D_K's build watermarks the pooled MSF arena at
+		// its final size — the smaller prefixes then reuse it without
+		// regrowing any buffer, so the serial path's peak heap is one
+		// arena, not an arena plus the garbage of K regrowths.
+		for k := K; k >= 0; k-- {
 			if err := build(k); err != nil {
 				return nil, err
 			}

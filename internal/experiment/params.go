@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/geom"
 	"repro/internal/metric"
 	"repro/internal/rng"
 	"repro/internal/rooted"
@@ -169,6 +170,12 @@ type Scratch struct {
 	space metric.Dense
 	lists metric.NearestLists
 	tsp   tsp.Scratch
+	// pts and grid back the large-n path: the point layout and the grid
+	// space are rebuilt in place request after request (capacity
+	// watermarking), so a chargerd worker at n=1M reuses its ~24 MB of
+	// coordinate and bucket arrays instead of churning them per request.
+	pts  []geom.Point
+	grid metric.Grid
 }
 
 // Prepare generates the cell's topology and materializes its distance
@@ -205,8 +212,19 @@ func PrepareNet(net *wsn.Network) *Prepared { return PrepareNetInto(net, nil) }
 // releases.
 func PrepareNetInto(net *wsn.Network, ws *Scratch) *Prepared {
 	pr := &Prepared{Net: net, scratch: ws}
-	if pts := net.Points(); len(pts) > metric.DenseLimit {
-		pr.Space = metric.NewGrid(pts)
+	if net.N()+net.Q() > metric.DenseLimit {
+		if ws == nil {
+			pr.Space = metric.NewGrid(net.Points())
+			return pr
+		}
+		// Arena path: lay the points into the worker's reused buffer and
+		// rebuild its grid in place. The grid copies the coordinates into
+		// its own (equally reused) arrays, and responses carry vertex
+		// indices and costs, never slices of these buffers, so nothing
+		// pointer-shaped leaks past the next PrepareNetInto.
+		ws.pts = net.AppendPoints(ws.pts[:0])
+		ws.grid.Rebuild(ws.pts)
+		pr.Space = &ws.grid
 		return pr
 	}
 	if ws == nil {

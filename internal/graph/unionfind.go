@@ -3,33 +3,55 @@ package graph
 // UnionFind is a disjoint-set forest with union by rank and path
 // compression, used by Kruskal's algorithm and by connectivity checks in
 // the test suite. Operations run in effectively O(α(n)) amortized time.
+// Elements are int32 internally — the serve-layer index budget caps
+// every ambient space well below MaxInt32, and the narrower parent
+// array is 5 bytes/element instead of 9 in the million-sensor MSF
+// arenas — but the API stays int like every other index in the repo.
 type UnionFind struct {
-	parent []int
+	parent []int32
 	rank   []uint8
 	sets   int
 }
 
 // NewUnionFind returns a UnionFind over n singleton sets {0}, ..., {n-1}.
 func NewUnionFind(n int) *UnionFind {
-	u := &UnionFind{parent: make([]int, n), rank: make([]uint8, n), sets: n}
-	for i := range u.parent {
-		u.parent[i] = i
-	}
+	u := &UnionFind{}
+	u.Reset(n)
 	return u
+}
+
+// Reset reinitializes u to n singleton sets, reusing its backing arrays
+// when they are large enough — the arena form of NewUnionFind, for
+// callers (the Borůvka MSF pool) that run union-find after union-find
+// over same-order inputs.
+func (u *UnionFind) Reset(n int) {
+	if cap(u.parent) >= n {
+		u.parent = u.parent[:n]
+		u.rank = u.rank[:n]
+	} else {
+		u.parent = make([]int32, n)
+		u.rank = make([]uint8, n)
+	}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+		u.rank[i] = 0
+	}
+	u.sets = n
 }
 
 // Find returns the representative of x's set.
 func (u *UnionFind) Find(x int) int {
-	for u.parent[x] != x {
-		u.parent[x] = u.parent[u.parent[x]] // path halving
-		x = u.parent[x]
+	v := int32(x)
+	for u.parent[v] != v {
+		u.parent[v] = u.parent[u.parent[v]] // path halving
+		v = u.parent[v]
 	}
-	return x
+	return int(v)
 }
 
 // Union merges the sets of x and y and reports whether they were distinct.
 func (u *UnionFind) Union(x, y int) bool {
-	rx, ry := u.Find(x), u.Find(y)
+	rx, ry := int32(u.Find(x)), int32(u.Find(y))
 	if rx == ry {
 		return false
 	}

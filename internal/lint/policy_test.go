@@ -18,7 +18,7 @@ func TestPolicyAllows(t *testing.T) {
 		{"walltime", "repro/internal/serve/sub", true},
 		{"walltime", "repro/internal/serves", false}, // boundary, not substring
 		{"walltime", "repro/internal/core", false},
-		{"floateq", "repro/internal/serve", false}, // ungranted check
+		{"floateq", "repro/internal/serve", false},                          // ungranted check
 		{"walltime", "repro/internal/lint/testdata/src/servepolicy", false}, // testdata never exempt
 	}
 	for _, c := range cases {

@@ -76,12 +76,12 @@ func (s Sub) Flatten() Dense {
 		return out
 	}
 	if g, ok := AsGrid(s.Parent); ok {
-		pts := g.Points()
+		cs := g.Coords()
 		for i := 0; i < n; i++ {
-			pi := pts[s.Idx[i]]
+			pi := s.Idx[i]
 			row := out.Row(i)
 			for j, pj := range s.Idx {
-				row[j] = pi.Dist(pts[pj])
+				row[j] = cs.Dist(pi, pj)
 			}
 		}
 		return out

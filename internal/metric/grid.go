@@ -23,27 +23,71 @@ const DenseLimit = 4096
 // neighbor queries by ring expansion in roughly O(1) cells per query on
 // uniform inputs.
 //
+// Coordinates are stored as two flat float64 arrays (structure-of-
+// arrays), not []geom.Point: the SoA form is what the index and the
+// refiners scan, the full index aliases it instead of copying, and the
+// resident cost is 16 bytes per point plus the int32 CSR buckets —
+// about half of the former AoS layout (DESIGN.md §13).
+//
 // Like Dense, a built Grid is read-only and may be shared freely across
-// goroutines; the lazily-built full index is protected by a sync.Once.
+// goroutines; the lazily-built full index is guarded by a mutex.
+// Rebuild is the one exception: it must not race with any other use.
 type Grid struct {
-	pts  []geom.Point
-	once sync.Once
-	full *GridIndex
+	xs, ys []float64
+
+	mu    sync.Mutex
+	built bool
+	full  GridIndex
 }
 
-// NewGrid returns the grid-indexed space over pts. The slice is
-// referenced, not copied; callers must not mutate it afterwards.
-func NewGrid(pts []geom.Point) *Grid { return &Grid{pts: pts} }
+// NewGrid returns the grid-indexed space over pts. The coordinates are
+// copied into the Grid's flat arrays; pts is not referenced afterwards.
+func NewGrid(pts []geom.Point) *Grid {
+	g := &Grid{}
+	g.Rebuild(pts)
+	return g
+}
+
+// Rebuild refills g from a new point set, reusing the coordinate and
+// index arrays when they are large enough — the arena form of NewGrid,
+// for callers (the chargerd worker pool) that build grid after grid.
+// Rebuild must not run concurrently with any query on g, and it
+// invalidates every index previously returned by Index or SubIndex.
+func (g *Grid) Rebuild(pts []geom.Point) {
+	n := len(pts)
+	g.xs = growFloats(g.xs, n)
+	g.ys = growFloats(g.ys, n)
+	for i, p := range pts {
+		g.xs[i] = p.X
+		g.ys[i] = p.Y
+	}
+	g.mu.Lock()
+	g.built = false
+	g.mu.Unlock()
+}
+
+// growFloats returns s resized to length n, reallocating only when the
+// capacity watermark is exceeded.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
 
 // Len implements Space.
-func (g *Grid) Len() int { return len(g.pts) }
+func (g *Grid) Len() int { return len(g.xs) }
 
 // Dist implements Space with the same math.Hypot evaluation the Dense
 // build path uses, so grid and dense distances are bit-identical.
-func (g *Grid) Dist(i, j int) float64 { return g.pts[i].Dist(g.pts[j]) }
+func (g *Grid) Dist(i, j int) float64 {
+	return math.Hypot(g.xs[i]-g.xs[j], g.ys[i]-g.ys[j])
+}
 
-// Points returns the backing point slice (shared, read-only).
-func (g *Grid) Points() []geom.Point { return g.pts }
+// Coords returns the concrete coordinate accessor over all points —
+// the devirtualized row-accessor hot loops use instead of per-distance
+// interface dispatch on Space.
+func (g *Grid) Coords() Coords { return Coords{xs: g.xs, ys: g.ys} }
 
 // AsGrid reports the *Grid underlying sp. Hot paths call it once at
 // entry — after AsDense fails — to select the sub-quadratic geometric
@@ -54,16 +98,18 @@ func AsGrid(sp Space) (*Grid, bool) {
 }
 
 // Index returns the grid index over all points, building it on first
-// use and caching it for the Grid's lifetime.
+// use and caching it until the next Rebuild. The full index aliases the
+// Grid's coordinate arrays — no copy — so its resident cost is only the
+// CSR buckets.
 func (g *Grid) Index() *GridIndex {
-	g.once.Do(func() {
-		members := make([]int, len(g.pts))
-		for i := range members {
-			members[i] = i
-		}
-		g.full = g.SubIndex(members)
-	})
-	return g.full
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.built {
+		g.full.xs, g.full.ys = g.xs, g.ys
+		g.full.build()
+		g.built = true
+	}
+	return &g.full
 }
 
 // SubIndex builds a grid index over the subset of points given by
@@ -71,17 +117,43 @@ func (g *Grid) Index() *GridIndex {
 // index members[k]. The build is O(|members|). The members slice is
 // only read during the build.
 func (g *Grid) SubIndex(members []int) *GridIndex {
+	gi := &GridIndex{}
+	g.SubIndexInto(gi, members)
+	return gi
+}
+
+// SubIndexInto is the arena form of SubIndex: it (re)builds gi in
+// place, reusing its backing arrays when they are large enough. When
+// members is an identity prefix (members[k] == k for all k) the
+// coordinate arrays alias the Grid's storage instead of being copied —
+// the common case for the planner, whose sensor sets are 0..m-1.
+func (g *Grid) SubIndexInto(gi *GridIndex, members []int) {
 	m := len(members)
-	gi := &GridIndex{
-		xs: make([]float64, m),
-		ys: make([]float64, m),
-	}
+	prefix := true
 	for k, v := range members {
-		gi.xs[k] = g.pts[v].X
-		gi.ys[k] = g.pts[v].Y
+		if v != k {
+			prefix = false
+			break
+		}
+	}
+	if prefix {
+		gi.xs, gi.ys = g.xs[:m], g.ys[:m]
+		gi.ownsCoords = false
+	} else {
+		// A previous aliasing build must not be written through; reuse
+		// only arrays this index owns.
+		if !gi.ownsCoords {
+			gi.xs, gi.ys = nil, nil
+		}
+		gi.xs = growFloats(gi.xs, m)
+		gi.ys = growFloats(gi.ys, m)
+		gi.ownsCoords = true
+		for k, v := range members {
+			gi.xs[k] = g.xs[v]
+			gi.ys[k] = g.ys[v]
+		}
 	}
 	gi.build()
-	return gi
 }
 
 // NearestLists builds the k-nearest-neighbor candidate lists of the
@@ -100,25 +172,48 @@ func (g *Grid) NearestLists(k int) *NearestLists {
 // mirroring NearestLists.Build for the dense path.
 func (nl *NearestLists) BuildGrid(g *Grid, k int) { g.Index().BuildLists(nl, k) }
 
+// Coords is a read-only structure-of-arrays view of planar coordinates
+// with local indexing — the grid twin of a Dense row accessor. Its Dist
+// is the same math.Hypot evaluation as the Dense build, so the values
+// the on-grid refiners compare are bit-identical to a flattened
+// sub-matrix's entries. Coords is a small value; copying it aliases the
+// same backing arrays.
+type Coords struct {
+	xs, ys []float64
+}
+
+// Len returns the number of points in the view.
+func (c Coords) Len() int { return len(c.xs) }
+
+// Dist returns the Euclidean distance between local points i and j.
+func (c Coords) Dist(i, j int) float64 {
+	return math.Hypot(c.xs[i]-c.xs[j], c.ys[i]-c.ys[j])
+}
+
 // GridIndex is a uniform-grid spatial hash over a (subset of a) point
 // set: cells of side `cell` in row-major order, with the members of
-// each cell stored contiguously in ascending local id (a CSR layout).
-// It answers two exact queries, both by expanding Chebyshev rings of
-// cells around the query point until the geometric lower bound of the
-// next ring proves no better candidate can exist:
+// each cell stored contiguously in ascending local id (a CSR layout
+// with int32 buckets). It answers two exact queries, both by expanding
+// Chebyshev rings of cells around the query point until the geometric
+// lower bound of the next ring proves no better candidate can exist:
 //
 //   - BuildLists: per-vertex k-nearest-neighbor lists, bit-identical to
 //     the Dense build (same (distance, id) tie-breaking);
 //   - NearestExcluding: nearest member outside the query's component,
 //     the inner kernel of the Borůvka q-rooted MSF in internal/rooted.
 //
+// Ring scans are index-free: a member's cell coordinates are recomputed
+// from its position with the same clamped float division the build
+// used, so no per-member cell arrays are stored (the former cx/cy pair
+// cost 8 bytes per member for values derivable in two flops).
+//
 // A built GridIndex is read-only and safe for concurrent queries.
 type GridIndex struct {
-	xs, ys     []float64 // member coordinates, local index order
+	xs, ys     []float64 // member coordinates; may alias the parent Grid
+	ownsCoords bool      // xs/ys are private arrays SubIndexInto may overwrite
 	minX, minY float64
 	cell       float64 // cell side length, > 0
 	nx, ny     int     // grid dimensions, ≥ 1
-	cx, cy     []int32 // per-member cell coordinates
 	start      []int32 // CSR cell offsets, len nx*ny+1
 	items      []int32 // member local ids grouped by cell, ascending within a cell
 }
@@ -126,13 +221,35 @@ type GridIndex struct {
 // Len returns the number of indexed members.
 func (gi *GridIndex) Len() int { return len(gi.xs) }
 
+// Dist returns the Euclidean distance between local members i and j —
+// the same math.Hypot the Dense build evaluates, so grid-side and
+// dense-side comparisons see identical bits.
+func (gi *GridIndex) Dist(i, j int) float64 {
+	return math.Hypot(gi.xs[i]-gi.xs[j], gi.ys[i]-gi.ys[j])
+}
+
+// Coords returns the coordinate view of the indexed members.
+func (gi *GridIndex) Coords() Coords { return Coords{xs: gi.xs, ys: gi.ys} }
+
+// cellOf recomputes member k's cell coordinates from its position —
+// exactly the clamped division the build pass used, so scan and build
+// always agree on the cell assignment.
+func (gi *GridIndex) cellOf(k int) (int, int) {
+	cx := clampCell(int((gi.xs[k]-gi.minX)/gi.cell), gi.nx)
+	cy := clampCell(int((gi.ys[k]-gi.minY)/gi.cell), gi.ny)
+	return cx, cy
+}
+
 // build sizes the cells for ~1 member per cell, clamps the cell count
-// for degenerate aspect ratios, and fills the CSR buckets.
+// for degenerate aspect ratios, and fills the CSR buckets, reusing the
+// bucket arrays when their capacity allows.
 func (gi *GridIndex) build() {
 	m := len(gi.xs)
 	if m == 0 {
 		gi.cell, gi.nx, gi.ny = 1, 1, 1
-		gi.start = make([]int32, 2)
+		gi.start = growInt32(gi.start, 2)
+		gi.start[0], gi.start[1] = 0, 0
+		gi.items = gi.items[:0]
 		return
 	}
 	minX, maxX := gi.xs[0], gi.xs[0]
@@ -167,29 +284,42 @@ func (gi *GridIndex) build() {
 	}
 	gi.cell = cell
 
-	gi.cx = make([]int32, m)
-	gi.cy = make([]int32, m)
-	gi.start = make([]int32, gi.nx*gi.ny+1)
+	gi.start = growInt32(gi.start, gi.nx*gi.ny+1)
+	for i := range gi.start {
+		gi.start[i] = 0
+	}
 	for k := 0; k < m; k++ {
-		cx := clampCell(int((gi.xs[k]-minX)/cell), gi.nx)
-		cy := clampCell(int((gi.ys[k]-minY)/cell), gi.ny)
-		gi.cx[k], gi.cy[k] = int32(cx), int32(cy)
+		cx, cy := gi.cellOf(k)
 		gi.start[cy*gi.nx+cx+1]++
 	}
 	for c := 0; c < gi.nx*gi.ny; c++ {
 		gi.start[c+1] += gi.start[c]
 	}
-	gi.items = make([]int32, m)
-	cur := make([]int32, gi.nx*gi.ny)
-	copy(cur, gi.start[:gi.nx*gi.ny])
-	// Members are appended in ascending local id, so each cell's slice
-	// comes out sorted — the property the deterministic tie-breaking of
-	// both queries relies on.
+	gi.items = growInt32(gi.items, m)
+	// Filling ascending by local id keeps each cell's slice sorted — the
+	// property the deterministic tie-breaking of both queries relies on.
+	// The running cursor borrows start[c+1] (next cell's final offset):
+	// after all m inserts every cursor has advanced exactly to that
+	// value, so the CSR is restored without a separate cursor array.
 	for k := 0; k < m; k++ {
-		c := int(gi.cy[k])*gi.nx + int(gi.cx[k])
-		gi.items[cur[c]] = int32(k)
-		cur[c]++
+		cx, cy := gi.cellOf(k)
+		c := cy*gi.nx + cx
+		gi.items[gi.start[c]] = int32(k)
+		gi.start[c]++
 	}
+	for c := gi.nx*gi.ny - 1; c >= 0; c-- {
+		gi.start[c+1] = gi.start[c]
+	}
+	gi.start[0] = 0
+}
+
+// growInt32 returns s resized to length n, reallocating only when the
+// capacity watermark is exceeded.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
 }
 
 // clampCell clamps a computed cell coordinate into [0, n-1]; floating-
@@ -262,7 +392,7 @@ func (gi *GridIndex) BuildLists(nl *NearestLists, k int) {
 		ds := nl.dist[v*k : (v+1)*k]
 		cnt := 0
 		x, y := gi.xs[v], gi.ys[v]
-		cx, cy := int(gi.cx[v]), int(gi.cy[v])
+		cx, cy := gi.cellOf(v)
 		for r := 0; r <= maxRing; r++ {
 			if cnt == k && ds[k-1] < gi.ringLB(r) {
 				break
@@ -336,7 +466,7 @@ func (gi *GridIndex) BuildLists(nl *NearestLists, k int) {
 func (gi *GridIndex) NearestExcluding(v int, comp []int32, bound float64) (int, float64) {
 	cv := comp[v]
 	x, y := gi.xs[v], gi.ys[v]
-	cx, cy := int(gi.cx[v]), int(gi.cy[v])
+	cx, cy := gi.cellOf(v)
 	best := -1
 	bd := bound
 	maxRing := gi.maxRing()

@@ -1,0 +1,85 @@
+package metric
+
+//lint:file-allow floateq grid queries must reproduce dense distances bit-for-bit
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// clusteredPoints draws n points from nc tight clusters plus a uniform
+// noise floor — the worst occupancy skew for a uniform grid: most cells
+// empty, a few cells holding big fractions of the input. frac controls
+// the noise share; spread the cluster radius relative to the 1000×1000
+// arena.
+func clusteredPoints(r *rand.Rand, n, nc int, spread, frac float64) []geom.Point {
+	if nc < 1 {
+		nc = 1
+	}
+	centers := make([]geom.Point, nc)
+	for i := range centers {
+		centers[i] = geom.Pt(r.Float64()*1000, r.Float64()*1000)
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if r.Float64() < frac {
+			pts[i] = geom.Pt(r.Float64()*1000, r.Float64()*1000)
+			continue
+		}
+		c := centers[r.Intn(nc)]
+		pts[i] = geom.Pt(c.X+r.NormFloat64()*spread, c.Y+r.NormFloat64()*spread)
+	}
+	return pts
+}
+
+// TestGridListsClustered is the deterministic property sweep behind the
+// fuzz target: on heavily clustered inputs — including near-coincident
+// clusters (spread 1e-7, thousands of points in one cell) and clusters
+// with zero noise — the ring-expansion lists are identical to lists
+// built from a materialized Dense.
+func TestGridListsClustered(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	cases := []struct {
+		n, nc  int
+		spread float64
+		frac   float64
+	}{
+		{200, 1, 2, 0},       // one dense blob, nothing else
+		{300, 4, 5, 0.1},     // the common clustered topology
+		{250, 3, 1e-7, 0.05}, // near-coincident: max members per cell
+		{150, 10, 50, 0.5},   // loose clusters blending into noise
+		{120, 2, 500, 0},     // "clusters" wider than the arena
+	}
+	for _, c := range cases {
+		pts := clusteredPoints(r, c.n, c.nc, c.spread, c.frac)
+		d := Materialize(NewEuclidean(pts))
+		g := NewGrid(pts)
+		for _, k := range []int{1, 8, DefaultNearest, c.n - 1} {
+			listsEqual(t, d.NearestLists(k), g.NearestLists(k), "clustered")
+		}
+	}
+}
+
+// FuzzGridListsClustered lets the fuzzer pick the cluster geometry —
+// count, spread (down to fully coincident), noise fraction, list size —
+// and requires the grid's k-NN lists to stay bit-identical to the dense
+// reference on every input it invents.
+func FuzzGridListsClustered(f *testing.F) {
+	f.Add(int64(1), uint16(50), uint8(3), uint8(10), int32(100), uint8(8))
+	f.Add(int64(2), uint16(300), uint8(1), uint8(0), int32(0), uint8(1))   // all points one cluster, spread 0
+	f.Add(int64(3), uint16(150), uint8(8), uint8(60), int32(7), uint8(64)) // k > n
+	f.Add(int64(4), uint16(2), uint8(1), uint8(0), int32(1), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint16, ncRaw, fracRaw uint8, spreadMilli int32, kRaw uint8) {
+		n := int(nRaw)%400 + 1
+		nc := int(ncRaw)%8 + 1
+		frac := float64(fracRaw%101) / 100
+		spread := float64(spreadMilli%1_000_000) / 1000 // [-1000, 1000); negatives just mirror
+		k := int(kRaw) % (n + 2)
+		r := rand.New(rand.NewSource(seed))
+		pts := clusteredPoints(r, n, nc, spread, frac)
+		d := Materialize(NewEuclidean(pts))
+		g := NewGrid(pts)
+		listsEqual(t, d.NearestLists(k), g.NearestLists(k), "fuzz")
+	})
+}

@@ -44,17 +44,20 @@ type Forest struct {
 // depot is not a root of f.
 func (f Forest) TreeOf(depot int) []int {
 	off, kids := f.childrenCSR()
-	return f.treeFrom(off, kids, depot)
+	members, _ := f.treeFrom(off, kids, depot)
+	return members
 }
 
 // childrenCSR builds the forest's child lists as one flat CSR pair:
 // vertex v's children are kids[off[v]:off[v+1]], in increasing index
 // order — the same order per-vertex appends over Parent would produce.
 // ToursFromForest builds it once and walks every depot's tree from it
-// instead of rebuilding a per-depot map.
-func (f Forest) childrenCSR() (off, kids []int) {
+// instead of rebuilding a per-depot map. int32 entries suffice (the
+// serve-layer index budget caps the ambient space) and halve the CSR's
+// footprint at million-sensor scale.
+func (f Forest) childrenCSR() (off, kids []int32) {
 	n := len(f.Parent)
-	off = make([]int, n+1)
+	off = make([]int32, n+1)
 	for _, p := range f.Parent {
 		if p >= 0 {
 			off[p+1]++
@@ -63,36 +66,44 @@ func (f Forest) childrenCSR() (off, kids []int) {
 	for v := 0; v < n; v++ {
 		off[v+1] += off[v]
 	}
-	kids = make([]int, off[n])
-	cur := make([]int, n)
+	kids = make([]int32, off[n])
+	cur := make([]int32, n)
 	copy(cur, off[:n])
 	for v, p := range f.Parent {
 		if p >= 0 {
-			kids[cur[p]] = v
+			kids[cur[p]] = int32(v)
 			cur[p]++
 		}
 	}
 	return off, kids
 }
 
-// treeFrom is TreeOf over a prebuilt childrenCSR.
-func (f Forest) treeFrom(off, kids []int, depot int) []int {
+// treeFrom is TreeOf over a prebuilt childrenCSR. Alongside the member
+// list it returns the tree's parent pointers in component-local index
+// space: lparent[li] is the position in members of members[li]'s parent
+// (-1 for the depot). tourFromTree walks the doubled tree over these
+// local indices so the Euler machinery sizes its arrays by the tour,
+// not the whole space — per-call O(sp.Len()) setup at a million sensors
+// was the last super-linear cost on the tour-construction path.
+func (f Forest) treeFrom(off, kids []int32, depot int) (members []int, lparent []int32) {
 	if depot < 0 || depot >= len(f.Parent) || f.Parent[depot] != -1 {
-		return nil
+		return nil, nil
 	}
-	var out []int
-	stack := []int{depot}
+	type frame struct{ v, p int32 }
+	stack := []frame{{int32(depot), -1}}
 	for len(stack) > 0 {
-		v := stack[len(stack)-1]
+		fr := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		out = append(out, v)
+		li := int32(len(members))
+		members = append(members, int(fr.v))
+		lparent = append(lparent, fr.p)
 		// Push in reverse so smaller-indexed children come out first;
 		// deterministic order keeps golden tests stable.
-		for i := off[v+1] - 1; i >= off[v]; i-- {
-			stack = append(stack, kids[i])
+		for i := off[fr.v+1] - 1; i >= off[fr.v]; i-- {
+			stack = append(stack, frame{kids[i], li})
 		}
 	}
-	return out
+	return members, lparent
 }
 
 // Validate checks the structural invariants of f against the given depot
@@ -155,6 +166,14 @@ func (f Forest) Validate(sp metric.Space, depots, sensors []int) error {
 // MSF panics on overlapping sets or an empty depot list, since those are
 // caller bugs rather than data conditions.
 func MSF(sp metric.Space, depots, sensors []int) Forest {
+	return msf(sp, depots, sensors, 1)
+}
+
+// msf is MSF with a worker budget for the Borůvka grid path; the forest
+// is byte-identical for every workers value (see msfBoruvka). Tours
+// passes Options.Workers through here so large grid plans parallelize
+// the MSF too, not just the per-depot tour builds.
+func msf(sp metric.Space, depots, sensors []int, workers int) Forest {
 	if len(depots) == 0 {
 		panic("rooted: MSF requires at least one depot")
 	}
@@ -186,13 +205,26 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 	// Contracted space: vertices 0..len(sensors)-1 are the sensors,
 	// vertex len(sensors) is the super-root r. d(v, r) is the distance
 	// from v to its nearest depot; nearest[v] records which depot
-	// realizes it so un-contraction is a table lookup.
-	nearest := make([]int, len(sensors))
-	toNearest := make([]float64, len(sensors))
+	// realizes it so un-contraction is a table lookup. The grid path
+	// borrows both arrays (and every Borůvka buffer) from the pooled
+	// arena; depot indices fit int32 by the serve-layer index budget.
 	dense, isDense := metric.AsDense(sp)
 	var grid *metric.Grid
 	if !isDense {
 		grid, _ = metric.AsGrid(sp)
+	}
+	var ar *msfArena
+	var nearest []int32
+	var toNearest []float64
+	if grid != nil {
+		ar = msfArenaPool.Get().(*msfArena)
+		defer msfArenaPool.Put(ar)
+		ar.nearest = grow(ar.nearest, len(sensors))
+		ar.toRoot = grow(ar.toRoot, len(sensors))
+		nearest, toNearest = ar.nearest, ar.toRoot
+	} else {
+		nearest = make([]int32, len(sensors))
+		toNearest = make([]float64, len(sensors))
 	}
 	for i, s := range sensors {
 		best, bd := -1, math.Inf(1)
@@ -205,11 +237,11 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 				}
 			}
 		case grid != nil:
-			// Concrete point math, no per-distance interface dispatch:
-			// O(q) per sensor, q is small.
-			pts := grid.Points()
+			// Concrete coordinate math, no per-distance interface
+			// dispatch: O(q) per sensor, q is small.
+			cs := grid.Coords()
 			for _, d := range depots {
-				if w := pts[s].Dist(pts[d]); w < bd {
+				if w := cs.Dist(s, d); w < bd {
 					best, bd = d, w
 				}
 			}
@@ -220,7 +252,7 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 				}
 			}
 		}
-		nearest[i], toNearest[i] = best, bd
+		nearest[i], toNearest[i] = int32(best), bd
 	}
 	var mst graph.Tree
 	switch {
@@ -230,7 +262,7 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 		// Sub-quadratic path: exact Borůvka MSF over the grid index, no
 		// O(n²) matrix. Same tree weight as Prim (the MST is unique up
 		// to equal-weight edge swaps, which are weight-neutral).
-		mst = msfBoruvka(grid, sensors, toNearest)
+		mst = msfBoruvka(grid, sensors, ar, workers)
 	default:
 		c := contracted{sp: sp, sensors: sensors, toRoot: toNearest}
 		mst = graph.PrimMST(c, len(sensors)) // root Prim at the super-root
@@ -240,7 +272,7 @@ func MSF(sp metric.Space, depots, sensors []int) Forest {
 		p := mst.Parent[i]
 		switch {
 		case p == len(sensors): // edge to the super-root: un-contract
-			parent[s] = nearest[i]
+			parent[s] = int(nearest[i])
 		case p >= 0:
 			parent[s] = sensors[p]
 		default:

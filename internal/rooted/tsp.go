@@ -72,7 +72,10 @@ func (o Options) refine(sp metric.Space, tour []int) []int {
 		tour, _ = tsp.TwoOptLists(d, o.Neighbors, tour, rounds, o.Scratch)
 		tour, _ = tsp.OrOptLists(d, o.Neighbors, tour, rounds, o.Scratch)
 	} else if g, ok := metric.AsGrid(sp); ok {
-		tour = refineOnGrid(g, tour, rounds, o.Scratch)
+		// On-grid candidate-list sweeps: no per-tour flatten, no length
+		// ceiling — every tour is refined, even at n=1M where the former
+		// gridRefineCap skip would have left long tours construction-only.
+		tour = tsp.RefineTourGrid(g, tour, rounds, o.Scratch)
 	} else {
 		tour, _ = tsp.TwoOpt(sp, tour, rounds)
 		tour, _ = tsp.OrOpt(sp, tour, rounds)
@@ -81,44 +84,6 @@ func (o Options) refine(sp metric.Space, tour []int) []int {
 		atomic.AddInt64(o.RefineNs, int64(time.Since(t0))) //lint:allow walltime RefineNs diagnostic timing, never feeds results
 	}
 	return tour
-}
-
-// gridRefineCap bounds the per-tour local-search footprint on the grid
-// path: a tour of m vertices flattens into an m×m Dense (8m² bytes)
-// for the candidate-list sweeps, so m is capped where that stays ≈
-// 130 MB. Longer tours are returned construction-only — the paper's
-// Algorithm 2 does not refine either, and the cap keeps the large-n
-// memory guarantee (peak heap ≪ O(n²)) unconditional. DESIGN.md §12
-// documents the policy.
-const gridRefineCap = 4096
-
-// refineOnGrid runs the 2-opt + Or-opt polish on one tour of a Grid
-// space: the tour's vertices are flattened into a local Dense (O(m²)
-// for the tour only, never the whole space) and candidate lists are
-// built from a grid sub-index in O(m·k), then the exact candidate-list
-// sweeps run as on the dense path. Distances gathered either way are
-// the same math.Hypot values, and the list sweeps are bit-identical to
-// full sweeps, so the refined tour matches what the dense path would
-// produce on the same instance.
-func refineOnGrid(g *metric.Grid, tour []int, rounds int, sc *tsp.Scratch) []int {
-	m := len(tour)
-	if m < 4 || m > gridRefineCap {
-		return tour
-	}
-	d := metric.NewSub(g, tour).Flatten()
-	var nl metric.NearestLists
-	g.SubIndex(tour).BuildLists(&nl, metric.DefaultNearest)
-	local := make([]int, m)
-	for i := range local {
-		local[i] = i
-	}
-	local, _ = tsp.TwoOptLists(d, &nl, local, rounds, sc)
-	local, _ = tsp.OrOptLists(d, &nl, local, rounds, sc)
-	out := make([]int, m)
-	for i, li := range local {
-		out[i] = tour[li]
-	}
-	return out
 }
 
 // Tour is one closed charging tour: the depot vertex followed by the
@@ -168,7 +133,9 @@ func Tours(sp metric.Space, depots, sensors []int, opt Options) Solution {
 	if opt.Method == MethodClusterFirst {
 		sol = clusterFirst(sp, depots, sensors, opt)
 	} else {
-		f := MSF(sp, depots, sensors)
+		// Workers flows into the MSF too: the Borůvka grid path shards
+		// its per-round neighbor queries, byte-identically to serial.
+		f := msf(sp, depots, sensors, opt.Workers)
 		sol = ToursFromForest(sp, f, opt)
 	}
 	if check.Enabled {
@@ -200,10 +167,10 @@ func ToursFromForest(sp metric.Space, f Forest, opt Options) Solution {
 	sol.Tours = make([]Tour, len(f.Depots))
 	build := func(li int, o Options) {
 		d := f.Depots[li]
-		members := f.treeFrom(off, kids, d)
+		members, lparent := f.treeFrom(off, kids, d)
 		t := Tour{Depot: d}
 		if len(members) > 1 {
-			t.Stops = tourFromTree(sp, f.Parent, members, d, o)
+			t.Stops = tourFromTree(sp, members, lparent, d, o)
 			t.Cost = tsp.Cost(sp, t.Vertices())
 		}
 		sol.Tours[li] = t
@@ -242,34 +209,45 @@ func ToursFromForest(sp metric.Space, f Forest, opt Options) Solution {
 }
 
 // tourFromTree converts one forest component into a closed tour, by
-// edge doubling (Algorithm 2) or the Christofides construction.
-func tourFromTree(sp metric.Space, parent []int, members []int, depot int, opt Options) []int {
+// edge doubling (Algorithm 2) or the Christofides construction. The
+// tree arrives in component-local index space (members preorder, with
+// lparent the local parent pointers from treeFrom): the Euler walk and
+// shortcut run entirely on local indices, so their O(V) working arrays
+// are sized by the tour's m members, not sp.Len() — at a million
+// sensors and dozens of tours per round the old space-sized setup
+// dominated all planning allocation. Relabeling is a bijection and the
+// doubled edges keep their order, so the walk — and therefore the tour
+// — is the old one relabeled, bit for bit.
+func tourFromTree(sp metric.Space, members []int, lparent []int32, depot int, opt Options) []int {
 	var tour []int
 	if opt.Method == MethodChristofides {
-		sub := make([]int, len(parent))
+		sub := make([]int, sp.Len())
 		for i := range sub {
 			sub[i] = -1
 		}
-		for _, v := range members {
-			sub[v] = parent[v]
+		for li, v := range members {
+			if p := lparent[li]; p >= 0 {
+				sub[v] = members[p]
+			}
 		}
-		sub[depot] = -1
 		tour, _ = tsp.ChristofidesTour(sp, graph.Tree{Parent: sub}, depot)
 	} else {
 		// EulerCircuit never reads edge weights, so the doubled edges
-		// carry endpoints only — no Dist calls here.
+		// carry endpoints only — no Dist calls here. members[0] is the
+		// depot (preorder root), the only member without a parent.
 		doubled := make([]graph.Edge, 0, 2*(len(members)-1))
-		for _, v := range members {
-			if p := parent[v]; p >= 0 {
-				e := graph.Edge{U: v, V: p}
-				doubled = append(doubled, e, e)
-			}
+		for li := 1; li < len(members); li++ {
+			e := graph.Edge{U: li, V: int(lparent[li])}
+			doubled = append(doubled, e, e)
 		}
-		walk, err := graph.EulerCircuit(sp.Len(), doubled, depot)
+		walk, err := graph.EulerCircuit(len(members), doubled, 0)
 		if err != nil {
 			panic("rooted: doubled tree not Eulerian: " + err.Error())
 		}
 		tour = graph.Shortcut(walk)
+		for i, lv := range tour {
+			tour[i] = members[lv]
+		}
 	}
 	if opt.Refine {
 		tour = opt.refine(sp, tour)

@@ -19,16 +19,34 @@ const (
 	// MaxSensors caps the sensors per request. Topologies above
 	// metric.DenseLimit plan on the grid path — O(n) memory, no n×n
 	// matrix — so the cap is set by response size and planning time, not
-	// by quadratic planner memory.
-	MaxSensors = 50000
+	// by quadratic planner memory. One million sensors is the compact
+	// grid's demonstrated ceiling (BenchmarkLargePlanGrid/n=1000000).
+	MaxSensors = 1_000_000
 	// MaxDepots caps the depots per request.
 	MaxDepots = 64
 	// MaxRounds caps T / min-cycle, the number of dispatch rounds a
 	// schedule response may contain.
 	MaxRounds = 10000
-	// MaxBodyBytes caps the /plan request body size.
-	MaxBodyBytes = 16 << 20
+	// MaxBodyBytes caps the /plan request body size. A million-sensor
+	// topology serializes to roughly 80 MB of JSON; the cap leaves
+	// headroom for verbose float formatting without admitting unbounded
+	// bodies.
+	MaxBodyBytes = 256 << 20
 )
+
+// indexBudget rejects topologies whose vertex count would overflow the
+// planner's 32-bit index arithmetic: the grid CSR buckets, candidate
+// lists and tour slots all store vertex indices as int32 for footprint,
+// so n+q (sensors plus depots, the ambient metric-space size) must stay
+// within int32. Unreachable through the MaxSensors/MaxDepots caps — it
+// is the independent guard that keeps a future cap raise from silently
+// breaking the compact layout, and it is unit-tested directly.
+func indexBudget(n, q int) error {
+	if n < 0 || q < 0 || int64(n)+int64(q) > math.MaxInt32 {
+		return badRequest("topology of %d sensors + %d depots exceeds the planner's int32 index budget", n, q)
+	}
+	return nil
+}
 
 // PointJSON is a planar coordinate in a request or response.
 type PointJSON struct {
@@ -178,6 +196,9 @@ func (r *PlanRequest) validate() error {
 	}
 	if q := len(r.Depots); q == 0 || q > MaxDepots {
 		return badRequest("need 1..%d depots, got %d", MaxDepots, len(r.Depots))
+	}
+	if err := indexBudget(len(r.Sensors), len(r.Depots)); err != nil {
+		return err
 	}
 	if !isFinite(r.Base) || r.Base < 0 || (r.Base > 0 && r.Base <= 1) {
 		return badRequest("rounding base must be > 1 (or 0 for the default), got %g", r.Base)

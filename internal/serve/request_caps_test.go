@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// capRequest builds an in-memory PlanRequest with n distinct sensors,
+// bypassing JSON (an 80 MB body per case would dominate the test) but
+// running the same validate() the decoder runs.
+func capRequest(n int) *PlanRequest {
+	r := &PlanRequest{T: 10}
+	r.Sensors = make([]SensorJSON, n)
+	for i := range r.Sensors {
+		r.Sensors[i] = SensorJSON{X: float64(i), Y: 0, Cycle: 2}
+	}
+	r.Depots = []PointJSON{{X: 0, Y: 1}}
+	return r
+}
+
+// TestRequestSensorCapBoundary pins the raised MaxSensors ceiling from
+// both sides: exactly MaxSensors sensors validate clean, one more is a
+// typed RequestError naming the cap.
+func TestRequestSensorCapBoundary(t *testing.T) {
+	if err := capRequest(MaxSensors).validate(); err != nil {
+		t.Fatalf("n=MaxSensors rejected: %v", err)
+	}
+	err := capRequest(MaxSensors + 1).validate()
+	var reqErr *RequestError
+	if !errors.As(err, &reqErr) {
+		t.Fatalf("n=MaxSensors+1: got %v, want *RequestError", err)
+	}
+	if !strings.Contains(reqErr.Reason, "sensors") {
+		t.Fatalf("rejection %q does not name the sensor cap", reqErr.Reason)
+	}
+}
+
+// TestIndexBudget unit-tests the int32 index guard directly: it is
+// unreachable through validate() while MaxSensors+MaxDepots fits int32,
+// and it must stay correct if a future release raises those caps.
+func TestIndexBudget(t *testing.T) {
+	cases := []struct {
+		n, q int
+		ok   bool
+	}{
+		{MaxSensors, MaxDepots, true},
+		{math.MaxInt32 - 64, 64, true},        // exactly at the budget
+		{math.MaxInt32 - 63, 64, false},       // one past it
+		{math.MaxInt32, math.MaxInt32, false}, // would overflow naive int arithmetic on 32-bit
+		{-1, 1, false},
+		{1, -1, false},
+	}
+	for _, c := range cases {
+		err := indexBudget(c.n, c.q)
+		if c.ok && err != nil {
+			t.Errorf("indexBudget(%d, %d) = %v, want nil", c.n, c.q, err)
+		}
+		if !c.ok {
+			var reqErr *RequestError
+			if !errors.As(err, &reqErr) {
+				t.Errorf("indexBudget(%d, %d) = %v, want *RequestError", c.n, c.q, err)
+			}
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package tsp
 
+import "repro/internal/metric"
+
 // Scratch is a reusable per-goroutine arena for the candidate-list
-// local-search sweeps (TwoOptLists, OrOptLists, SegmentExchangeLists).
-// Passing the same Scratch across many calls — the experiment sweep
-// worker loop refines thousands of tours per cell — takes their
-// steady-state allocation rate to zero. A Scratch must not be shared
-// between concurrent calls; nil is always accepted and means "allocate
-// privately".
+// local-search sweeps (TwoOptLists, OrOptLists, SegmentExchangeLists)
+// and the on-grid refiners (RefineTourGrid). Passing the same Scratch
+// across many calls — the experiment sweep worker loop refines
+// thousands of tours per cell — takes their steady-state allocation
+// rate to zero. A Scratch must not be shared between concurrent calls;
+// nil is always accepted and means "allocate privately".
 type Scratch struct {
 	// pos maps vertex id -> current tour position. Invariant between
 	// calls: every entry up to cap is -1, so borrowing it costs O(tour),
@@ -19,6 +21,11 @@ type Scratch struct {
 	cand []int32
 	// buf backs the in-place segment rotation of 3-opt moves.
 	buf []int
+	// sub and lists back the per-tour grid sub-index and candidate
+	// lists of RefineTourGrid; local is its identity working tour.
+	sub   metric.GridIndex
+	lists metric.NearestLists
+	local []int
 }
 
 // NewScratch returns an empty arena; buffers grow on first use.
@@ -55,4 +62,13 @@ func (sc *Scratch) ints(n int) []int {
 	}
 	sc.buf = make([]int, n)
 	return sc.buf
+}
+
+// locals borrows the grid refiner's local-tour buffer of length n.
+func (sc *Scratch) locals(n int) []int {
+	if cap(sc.local) >= n {
+		return sc.local[:n]
+	}
+	sc.local = make([]int, n)
+	return sc.local
 }

@@ -89,6 +89,11 @@ func Generate(r *rng.Source, cfg GenConfig) (*Network, error) {
 		return nil, err
 	}
 	nw := &Network{Field: cfg.Field, Base: cfg.Field.Center()}
+	// Exact-size preallocation: append-doubling a million-sensor slice
+	// would churn ~4x its final footprint through the GC and spike the
+	// heap high-water mark before planning even starts.
+	nw.Sensors = make([]Sensor, 0, cfg.N)
+	nw.Depots = make([]geom.Point, 0, cfg.Q)
 	uniformPoint := func() geom.Point {
 		return geom.Pt(
 			r.Uniform(cfg.Field.Min.X, cfg.Field.Max.X),

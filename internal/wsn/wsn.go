@@ -55,12 +55,23 @@ func (nw *Network) Q() int { return len(nw.Depots) }
 // Points returns all node locations with the library-wide index
 // convention: sensors first (index = sensor ID), then depots.
 func (nw *Network) Points() []geom.Point {
-	pts := make([]geom.Point, 0, nw.N()+nw.Q())
-	for _, s := range nw.Sensors {
-		pts = append(pts, s.Pos)
+	return nw.AppendPoints(nil)
+}
+
+// AppendPoints appends all node locations to dst in the Points order
+// and returns the extended slice — the arena form of Points, for
+// callers (the chargerd worker pool) that lay out network after
+// network into a reused buffer.
+func (nw *Network) AppendPoints(dst []geom.Point) []geom.Point {
+	if need := len(dst) + nw.N() + nw.Q(); cap(dst) < need {
+		grown := make([]geom.Point, len(dst), need)
+		copy(grown, dst)
+		dst = grown
 	}
-	pts = append(pts, nw.Depots...)
-	return pts
+	for _, s := range nw.Sensors {
+		dst = append(dst, s.Pos)
+	}
+	return append(dst, nw.Depots...)
 }
 
 // Space returns the Euclidean metric space over Points().

@@ -9,8 +9,11 @@
 #                                      on any >15% ns/op regression
 #
 # Extra stability knobs: BENCHTIME (default 3x), COUNT (default 3;
-# the parser keeps the per-field median across the COUNT runs), and
-# THRESHOLD (default 0.15 — fractional ns/op growth that fails check).
+# the parser keeps the per-field median across the COUNT runs),
+# THRESHOLD (default 0.15 — fractional ns/op growth that fails check),
+# and HEAP_THRESHOLD (default 0.25 — fractional heap_bytes growth that
+# fails check on rows where both baselines carry a heap sample, so a
+# memory regression cannot pass the gate behind a speedup).
 #
 # LARGE=1 also runs the LargePlan grid/dense suite (single-shot, with
 # heap-bytes) and folds it into the same baseline. Capture defaults to
@@ -23,6 +26,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-3x}"
 COUNT="${COUNT:-3}"
 THRESHOLD="${THRESHOLD:-0.15}"
+HEAP_THRESHOLD="${HEAP_THRESHOLD:-0.25}"
 PATTERN='Fig|Ablation'
 
 capture() {
@@ -34,8 +38,14 @@ capture() {
         if [ "${LARGE:-0}" = 1 ]; then
             # Large-n cells are single-shot by design: one end-to-end
             # plan is the unit, and the heap-bytes metric is a footprint
-            # sample, not a per-op rate worth averaging.
-            go test -run '^$' -bench 'LargePlan' -benchtime 1x \
+            # sample, not a per-op rate worth averaging. The grid and
+            # dense suites run in separate test processes: heap-bytes is
+            # MemStats.HeapSys, a per-process high-water mark, so one
+            # binary running both would stamp the grid headline row's
+            # footprint onto every dense row that follows it.
+            go test -run '^$' -bench 'LargePlanGrid' -benchtime 1x \
+                -count 1 -timeout 1800s .
+            go test -run '^$' -bench 'LargePlanDense' -benchtime 1x \
                 -count 1 -timeout 1800s .
         fi
     } | go run ./cmd/bench -parse ${label:+-label "$label"} -o "$out"
@@ -60,7 +70,8 @@ check)
     tmp="$(mktemp)"
     trap 'rm -f "$tmp"' EXIT
     capture "$tmp"
-    go run ./cmd/bench -compare -threshold "$THRESHOLD" "$base" "$tmp"
+    go run ./cmd/bench -compare -threshold "$THRESHOLD" \
+        -heap-threshold "$HEAP_THRESHOLD" "$base" "$tmp"
     ;;
 *)
     echo "usage: $0 capture <label> | check [baseline.json]" >&2
