@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check-test bench-smoke bench-check serve-smoke profile check
+.PHONY: build vet lint test race check-test bench-smoke bench-check serve-smoke churn-smoke profile check
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,12 @@ bench-check:
 # a strict short load (non-2xx other than shed, or healthz flaps, fail).
 serve-smoke:
 	scripts/serve_smoke.sh
+
+# End-to-end smoke of the streaming-session path: one tenant session
+# churned with delta batches, gated on patch latency vs full-replan
+# latency, patched-vs-fresh cost, and charging-gap feasibility.
+churn-smoke:
+	scripts/churn_smoke.sh
 
 # Profile one figure sweep (default fig5; override with PROFILE_FIG=6).
 # Inspect with `go tool pprof profiles/cpu.out` (or mem.out).

@@ -8,9 +8,14 @@
 //
 // Endpoints:
 //
-//	POST /plan     plan a topology (JSON in, JSON out; see internal/serve)
-//	GET  /healthz  liveness plus pool statistics
-//	GET  /metrics  request, queue, cache and latency metrics
+//	POST   /plan                plan a topology (JSON in, JSON out; see internal/serve)
+//	POST   /session             register a network as a stateful session
+//	GET    /session/{id}        session metadata
+//	GET    /session/{id}/plan   the session's current patched plan
+//	POST   /session/{id}/delta  stream one atomic batch of topology changes
+//	DELETE /session/{id}        drop the session
+//	GET    /healthz             liveness plus pool statistics
+//	GET    /metrics             request, queue, cache, session and latency metrics
 //
 // Example:
 //
@@ -45,6 +50,13 @@ func main() {
 		cacheSize  = flag.Int("cache", 0, "plan cache entries (0 = 512, negative disables)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request planning deadline")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+
+		sessShards   = flag.Int("session-shards", 0, "session shards, each a serial event loop (0 = workers)")
+		sessPerShard = flag.Int("sessions-per-shard", 0, "live sessions per shard before LRU eviction (0 = 64)")
+		sessQueue    = flag.Int("session-queue", 0, "pending ops per session shard before shedding (0 = 64)")
+		sessRing     = flag.Int("session-ring", 0, "delta batches logged per session during a background replan (0 = 256)")
+		maxDrift     = flag.Float64("max-drift", 0, "cost-drift ratio that triggers a reconciling replan (0 = 0.02)")
+		syncReplan   = flag.Bool("sync-replan", false, "run reconciling replans inline on the shard (deterministic, higher delta tails)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -58,6 +70,14 @@ func main() {
 		CacheSize:      *cacheSize,
 		DefaultTimeout: *timeout,
 		RetryAfter:     *retryAfter,
+		Sessions: serve.SessionConfig{
+			Shards:     *sessShards,
+			PerShard:   *sessPerShard,
+			Queue:      *sessQueue,
+			Ring:       *sessRing,
+			MaxDrift:   *maxDrift,
+			SyncReplan: *syncReplan,
+		},
 	})
 	hs := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv)}
 

@@ -11,13 +11,32 @@
 // -warmup (default) every distinct topology is planned once before
 // timing starts, so the steady state measures the cache.
 //
+// With -rate R the workload turns open-loop: request arrivals follow a
+// Poisson process at R req/s, latency is measured from each request's
+// scheduled arrival (not from when a worker got around to sending it),
+// and a slow server accrues backlog into the percentiles instead of
+// silently throttling the generator — the standard guard against
+// coordinated omission.
+//
+// With -churn the generator drives the stateful streaming API instead:
+// it registers one topology as a session, streams mixed delta batches
+// (joins, leaves, rate updates; -batch ops each, Poisson-paced under
+// -rate), interleaves cold POST /plan requests on the reconstructed
+// live topology as the full-replan baseline (-cold-frac), and finally
+// fetches the patched plan, verifies its charging-gap feasibility
+// client-side, and reports patched-vs-replanned cost alongside both
+// latency distributions.
+//
 // Example:
 //
 //	loadgen -url http://localhost:8080 -n 100 -q 5 -c 8 -d 5s
+//	loadgen -url http://localhost:8080 -churn -n 50000 -q 8 -d 60s -rate 50
 //
 // Exit status under -strict is 1 when any request errored (non-2xx
 // other than shed), the health endpoint flapped, or an enabled
-// assertion (-min-rps, -max-p99-ms, -min-hitrate) failed.
+// assertion (-min-rps, -max-p99-ms, -min-hitrate; with -churn:
+// -max-delta-p99-ms, -min-delta-speedup, -max-cost-ratio, plus the
+// gap-feasibility check) failed.
 package main
 
 import (
@@ -84,8 +103,29 @@ func main() {
 		minHit     = flag.Float64("min-hitrate", 0, "assert at least this cache hit rate (0 = off)")
 		large      = flag.String("large", "", "one-shot large-topology mode: \"N,Q\" planned through the server's grid path instead of the closed-loop workload")
 		maxHeap    = flag.Int64("maxheap", 0, "with -large: exit 1 if chargerd_heap_inuse_bytes exceeds this after planning (0 = report only)")
+		rate       = flag.Float64("rate", 0, "open-loop Poisson arrivals per second (0 = closed loop)")
+		churn      = flag.Bool("churn", false, "streaming-session churn workload instead of the /plan workload")
+		batch      = flag.Int("batch", 8, "with -churn: delta ops per batch")
+		coldFrac   = flag.Float64("cold-frac", 0.05, "with -churn: cold full-replan /plan requests per delta batch")
+		maxDP99    = flag.Float64("max-delta-p99-ms", 0, "with -churn -strict: delta p99 ceiling in ms (0 = off)")
+		minSpeed   = flag.Float64("min-delta-speedup", 0, "with -churn -strict: floor on replan-p99/delta-p99 (0 = off)")
+		maxRatio   = flag.Float64("max-cost-ratio", 0, "with -churn -strict: ceiling on patched/replanned cost (0 = off)")
 	)
 	flag.Parse()
+
+	if *churn {
+		err := runChurn(churnConfig{
+			url: *url, algo: *algo, n: *n, q: *q, batch: *batch,
+			period: *period, seed: *seed, dur: *dur, rate: *rate,
+			coldFrac: *coldFrac, strict: *strict,
+			maxDeltaP99: *maxDP99, minSpeedup: *minSpeed, maxCostRatio: *maxRatio,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *large != "" {
 		if err := runLarge(*url, *large, *algo, *period, *seed, *maxHeap); err != nil {
@@ -119,6 +159,30 @@ func main() {
 	}()
 
 	deadline := time.Now().Add(*dur)
+	// Open-loop mode: one generator produces the Poisson arrival
+	// schedule; workers consume it and measure latency from the
+	// scheduled arrival, so server slowness shows up as queueing delay
+	// in the percentiles rather than as a quietly reduced request rate.
+	var arrivals chan time.Time
+	if *rate > 0 {
+		buf := int(*rate*dur.Seconds()) + 1024
+		if buf > 1<<20 {
+			buf = 1 << 20
+		}
+		arrivals = make(chan time.Time, buf)
+		go func() {
+			r := rng.New(*seed + 0x9e3779b9)
+			next := time.Now()
+			for {
+				next = next.Add(expGap(r, *rate))
+				if !next.Before(deadline) {
+					break
+				}
+				arrivals <- next
+			}
+			close(arrivals)
+		}()
+	}
 	latencies := make([][]float64, *conc)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -127,11 +191,10 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for time.Now().Before(deadline) {
+			shoot := func(sched time.Time) {
 				body := bodies[int(next.Add(1))%len(bodies)]
-				start := time.Now()
 				status, cache, err := post(client, planURL, body)
-				elapsed := time.Since(start).Seconds()
+				elapsed := time.Since(sched).Seconds()
 				c.requests.Add(1)
 				switch {
 				case err != nil:
@@ -152,6 +215,18 @@ func main() {
 				default:
 					c.errs.Add(1)
 				}
+			}
+			if arrivals != nil {
+				for sched := range arrivals {
+					if d := time.Until(sched); d > 0 {
+						time.Sleep(d)
+					}
+					shoot(sched)
+				}
+				return
+			}
+			for time.Now().Before(deadline) {
+				shoot(time.Now())
 			}
 		}(w)
 	}

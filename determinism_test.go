@@ -7,9 +7,12 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/experiment"
 	"repro/internal/metric"
+	"repro/internal/rng"
 	"repro/internal/rooted"
+	"repro/internal/wsn"
 )
 
 // TestSweepDeterminism runs one small figure sweep twice — one worker on
@@ -135,5 +138,72 @@ func TestLargeGridParallelDeterminism(t *testing.T) {
 	parallel := plan(8)
 	if !bytes.Equal(serial, parallel) {
 		t.Fatal("large-n grid plan differs between Workers=1 and Workers=8")
+	}
+}
+
+// TestDeltaPatchDeterminism extends the Workers-independence contract
+// to the session patcher: a delta.State evolved through the same
+// sequence of batches (joins, leaves, rate updates, including the
+// drift-triggered full replans, which are where Workers engages) must
+// serialize byte-identically with Workers=1 and Workers=8 after every
+// batch. Under -race this also covers the replan's parallel tour
+// builders running against session state.
+func TestDeltaPatchDeterminism(t *testing.T) {
+	net, err := wsn.Generate(rng.New(404), wsn.GenConfig{
+		N: 300, Q: 4, Dist: wsn.LinearDist{TauMin: 2, TauMax: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny drift budget so full replans interleave with patches.
+	evolve := func(workers int) [][]byte {
+		t.Helper()
+		st, err := delta.New(net, delta.Config{T: 200, Workers: workers, MaxDrift: 0.005}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(99)
+		var views [][]byte
+		for batch := 0; batch < 20; batch++ {
+			var ops []delta.Op
+			for i := 0; i < 6; i++ {
+				id := batch*6 + i
+				switch i % 3 {
+				case 0:
+					ops = append(ops, delta.Op{
+						Kind: delta.OpJoin, X: r.Uniform(0, 1000), Y: r.Uniform(0, 1000),
+						Cycle: st.Tau1() * r.Uniform(1, 20),
+					})
+				case 1:
+					ops = append(ops, delta.Op{Kind: delta.OpLeave, ID: id})
+				default:
+					ops = append(ops, delta.Op{
+						Kind: delta.OpRate, ID: id, Cycle: st.Tau1() * r.Uniform(1, 20),
+					})
+				}
+			}
+			res, err := st.Apply(ops)
+			if err != nil {
+				t.Fatalf("batch %d: %v", batch, err)
+			}
+			if res.NeedReplan {
+				if err := st.Replan(); err != nil {
+					t.Fatalf("batch %d replan: %v", batch, err)
+				}
+			}
+			b, err := json.Marshal(st.View())
+			if err != nil {
+				t.Fatal(err)
+			}
+			views = append(views, b)
+		}
+		return views
+	}
+	serial := evolve(1)
+	parallel := evolve(8)
+	for i := range serial {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Fatalf("session state after batch %d differs between Workers=1 and Workers=8", i)
+		}
 	}
 }

@@ -300,6 +300,23 @@ func orderOf(j int, base float64, cap int) int {
 	return k
 }
 
+// ClassIndex returns the cycle class k a sensor with maximum charging
+// cycle c falls into relative to the base period tau1: the largest k
+// with base^k·τ_1 <= c, computed with the same nudged floating-point
+// floor-log PlanFixed's classify uses. It is exported for the delta
+// patcher (internal/delta), which must re-class joining and rate-updated
+// sensors exactly as a from-scratch plan would — a one-ULP disagreement
+// here would put a patched sensor into a different prefix solution than
+// the reconciling background replan.
+func ClassIndex(c, tau1, base float64) int { return classIndex(c, tau1, base) }
+
+// RoundOrder returns which prefix solution D_k the round dispatched at
+// j·τ_1 uses: min(cap, the largest k such that base^k divides j). It is
+// the dispatch rule of PlanFixed's scheduling loop, exported so the
+// delta patcher weighs per-solution cost changes by exactly the rounds
+// that replay each solution.
+func RoundOrder(j int, base float64, cap int) int { return orderOf(j, base, cap) }
+
 // SortedCycles returns a copy of cycles sorted ascending; exposed for
 // tests and diagnostics mirroring the paper's τ_1 <= ... <= τ_n notation.
 func SortedCycles(net *wsn.Network) []float64 {

@@ -1,0 +1,560 @@
+package delta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/tsp"
+	"repro/internal/wsn"
+)
+
+// dirtyEntry records one touched tour: which prefix solution, which
+// depot's tour, the tour cost when first touched in this batch, and
+// whether an insertion landed on it (insertions earn a local refine;
+// shortcut removals never degrade a tour, so they only need the cost
+// recompute).
+type dirtyEntry struct {
+	k, ti   int
+	oldCost float64
+	refine  bool
+}
+
+// dirtySet tracks touched tours across one Apply. stamp[k][ti] holds
+// entry index + 1 (0 = clean) so marking is O(1) and iteration order is
+// first-touch order — deterministic because patching is serial.
+type dirtySet struct {
+	entries []dirtyEntry
+	stamp   [][]int32
+}
+
+func (d *dirtySet) reset(nk, q int) {
+	d.entries = d.entries[:0]
+	if len(d.stamp) != nk || (nk > 0 && len(d.stamp[0]) != q) {
+		d.stamp = make([][]int32, nk)
+		for k := range d.stamp {
+			d.stamp[k] = make([]int32, q)
+		}
+		return
+	}
+	for k := range d.stamp {
+		for ti := range d.stamp[k] {
+			d.stamp[k][ti] = 0
+		}
+	}
+}
+
+func (d *dirtySet) mark(k, ti int, oldCost float64, refine bool) {
+	if e := d.stamp[k][ti]; e != 0 {
+		if refine {
+			d.entries[e-1].refine = true
+		}
+		return
+	}
+	d.entries = append(d.entries, dirtyEntry{k: k, ti: ti, oldCost: oldCost, refine: refine})
+	d.stamp[k][ti] = int32(len(d.entries))
+}
+
+func (d *dirtySet) clear() {
+	for _, e := range d.entries {
+		d.stamp[e.k][e.ti] = 0
+	}
+	d.entries = d.entries[:0]
+}
+
+// batchPlan is the outcome of validating a batch before any mutation.
+type batchPlan struct {
+	joins      int
+	structural bool
+	liveAfter  int
+}
+
+// validate checks a whole batch against the current state plus an
+// overlay simulating the batch's own effects, so a batch is accepted or
+// rejected atomically before the first mutation. It returns whether the
+// batch is structural: some final cycle lands below the base period
+// τ_1, which no patch can absorb (the round grid itself would change).
+func (st *State) validate(ops []Op) (batchPlan, error) {
+	var bp batchPlan
+	bp.liveAfter = st.nAlive
+	// Overlay: slot -> simulated aliveness / cycle. Maps are fine here —
+	// they are never iterated, only probed per op id.
+	aliveOv := make(map[int]bool)
+	cycleOv := make(map[int]float64)
+	nextSlot := len(st.sensors)
+	touchedMin := math.Inf(1)
+
+	aliveAt := func(id int) bool {
+		if ov, ok := aliveOv[id]; ok {
+			return ov
+		}
+		if id < len(st.sensors) {
+			return st.alive[id]
+		}
+		return false
+	}
+
+	for i, op := range ops {
+		switch op.Kind {
+		case OpJoin:
+			if !isFinite(op.X) || !isFinite(op.Y) {
+				return bp, badBatch("op %d: join position (%g, %g) not finite", i, op.X, op.Y)
+			}
+			if !st.field.Contains(geom.Point{X: op.X, Y: op.Y}) {
+				return bp, badBatch("op %d: join position (%g, %g) outside field", i, op.X, op.Y)
+			}
+			if !(op.Cycle > 0) || math.IsInf(op.Cycle, 0) {
+				return bp, badBatch("op %d: join cycle must be positive and finite, got %g", i, op.Cycle)
+			}
+			if op.Capacity < 0 || math.IsInf(op.Capacity, 0) || math.IsNaN(op.Capacity) {
+				return bp, badBatch("op %d: join capacity must be non-negative and finite, got %g", i, op.Capacity)
+			}
+			aliveOv[nextSlot] = true
+			cycleOv[nextSlot] = op.Cycle
+			nextSlot++
+			bp.joins++
+			bp.liveAfter++
+			if op.Cycle < touchedMin {
+				touchedMin = op.Cycle
+			}
+		case OpLeave:
+			if op.ID < 0 || op.ID >= nextSlot || !aliveAt(op.ID) {
+				return bp, badBatch("op %d: leave of unknown or departed sensor %d", i, op.ID)
+			}
+			aliveOv[op.ID] = false
+			delete(cycleOv, op.ID)
+			bp.liveAfter--
+		case OpRate:
+			if op.ID < 0 || op.ID >= nextSlot || !aliveAt(op.ID) {
+				return bp, badBatch("op %d: rate update of unknown or departed sensor %d", i, op.ID)
+			}
+			if !(op.Cycle > 0) || math.IsInf(op.Cycle, 0) {
+				return bp, badBatch("op %d: cycle must be positive and finite, got %g", i, op.Cycle)
+			}
+			cycleOv[op.ID] = op.Cycle
+			if op.Cycle < touchedMin {
+				touchedMin = op.Cycle
+			}
+		default:
+			return bp, badBatch("op %d: unknown kind %d", i, uint8(op.Kind))
+		}
+	}
+	if bp.liveAfter < 1 {
+		return bp, badBatch("batch would leave the session with no live sensors")
+	}
+	// Every untouched live cycle is >= τ_1 by invariant (planLive sets
+	// τ_1 to the live minimum and patches reject anything below it), so
+	// the post-batch minimum cycle is below τ_1 iff a touched one is.
+	bp.structural = touchedMin < st.tau1
+	if bp.structural && st.cfg.MaxRounds > 0 {
+		if rounds := st.cfg.T / touchedMin; rounds > float64(st.cfg.MaxRounds) {
+			return bp, badBatch("batch lowers the base period to %g: t/τ_1 = %g exceeds the %d-round cap",
+				touchedMin, rounds, st.cfg.MaxRounds)
+		}
+	}
+	return bp, nil
+}
+
+func isFinite(v float64) bool { return !math.IsInf(v, 0) && !math.IsNaN(v) }
+
+// BatchError is a batch rejected by up-front validation: the state was
+// not touched and the session remains fully usable. Any other Apply
+// error means the state may be inconsistent and the session must be
+// discarded.
+type BatchError struct{ Reason string }
+
+// Error implements error.
+func (e *BatchError) Error() string { return "delta: bad batch: " + e.Reason }
+
+func badBatch(format string, args ...any) error {
+	return &BatchError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// Apply applies one batch of delta operations atomically: the whole
+// batch is validated up-front (against the state it will produce, so
+// e.g. a join followed by a leave of the joined slot is legal) and
+// either every op lands or none does and an error is returned.
+//
+// Non-structural batches are absorbed as plan patches; structural ones
+// (a cycle below the base period τ_1) run a full replan inline and
+// report Result.Replanned. Either way Version advances by exactly one.
+//
+// An error with a mutated state is impossible on the patch path; on the
+// structural path a planning failure (only reachable through resource
+// caps) leaves the state unusable — callers must discard the session.
+func (st *State) Apply(ops []Op) (Result, error) {
+	var res Result
+	if len(ops) == 0 {
+		return res, badBatch("empty batch")
+	}
+	bp, err := st.validate(ops)
+	if err != nil {
+		return res, err
+	}
+
+	// Register joins: assign slots, extend the per-slot arrays, class
+	// the newcomers. Splicing happens op-by-op below; until then the
+	// fresh slots are invisible to splice queries (tourOf -1).
+	if bp.joins > 0 {
+		res.Joined = make([]int, 0, bp.joins)
+		nSlots := len(st.sensors) + bp.joins
+		st.class = growFillInt32(st.class, nSlots, -1)
+		st.alive = growBools(st.alive, nSlots)
+		for k := range st.sols {
+			st.sols[k].tourOf = growFillInt32(st.sols[k].tourOf, nSlots, -1)
+		}
+		for _, op := range ops {
+			if op.Kind != OpJoin {
+				continue
+			}
+			slot := len(st.sensors)
+			capacity := op.Capacity
+			if capacity == 0 { //lint:allow floateq zero value means default capacity, exact test intended
+				capacity = 1
+			}
+			s := wsn.Sensor{ID: slot, Pos: geom.Point{X: op.X, Y: op.Y}, Capacity: capacity, Cycle: op.Cycle}
+			st.sensors = append(st.sensors, s)
+			st.alive[slot] = true
+			st.nAlive++
+			st.fp.AddSensor(s)
+			st.class[slot] = int32(st.joinClass(op.Cycle))
+			res.Joined = append(res.Joined, slot)
+		}
+		// The slot array grew, so the session grid must cover the new
+		// points before any splice queries it.
+		st.rebuildGrid()
+	}
+
+	if bp.structural {
+		// Patching cannot change the round grid; apply the remaining
+		// ops as pure state mutations and replan the live set.
+		for _, op := range ops {
+			switch op.Kind {
+			case OpLeave:
+				st.fp.RemoveSensor(st.sensors[op.ID])
+				st.alive[op.ID] = false
+				st.nAlive--
+			case OpRate:
+				old := st.sensors[op.ID]
+				upd := old
+				upd.Cycle = op.Cycle
+				st.sensors[op.ID] = upd
+				st.fp.UpdateSensor(old, upd)
+			}
+		}
+		if err := st.planLive(); err != nil {
+			return res, err
+		}
+		st.replans++
+		st.version++
+		res.Replanned = true
+		res.Cost = st.Cost()
+		return res, nil
+	}
+
+	// Patch path: serial, in op order. Joins splice into every prefix
+	// solution from their class up; leaves shortcut out of the same
+	// range; rate updates move the sensor between exactly the prefix
+	// solutions its class change covers.
+	st.dirty.clear()
+	join := 0
+	for _, op := range ops {
+		switch op.Kind {
+		case OpJoin:
+			slot := res.Joined[join]
+			join++
+			for k := int(st.class[slot]); k <= st.k; k++ {
+				st.spliceInto(k, slot)
+			}
+		case OpLeave:
+			for k := int(st.class[op.ID]); k <= st.k; k++ {
+				st.removeFrom(k, op.ID)
+			}
+			st.fp.RemoveSensor(st.sensors[op.ID])
+			st.alive[op.ID] = false
+			st.class[op.ID] = -1
+			st.nAlive--
+		case OpRate:
+			old := st.sensors[op.ID]
+			upd := old
+			upd.Cycle = op.Cycle
+			oldC := int(st.class[op.ID])
+			newC := st.joinClass(op.Cycle)
+			switch {
+			case newC < oldC:
+				// Shorter cycle: the sensor now also needs the more
+				// frequent prefix solutions D_newC..D_oldC-1.
+				for k := newC; k < oldC; k++ {
+					st.spliceInto(k, op.ID)
+				}
+			case newC > oldC:
+				// Longer cycle: the frequent solutions may drop it.
+				for k := oldC; k < newC; k++ {
+					st.removeFrom(k, op.ID)
+				}
+			}
+			st.class[op.ID] = int32(newC)
+			st.sensors[op.ID] = upd
+			st.fp.UpdateSensor(old, upd)
+		}
+	}
+
+	// Polish insertion-touched tours locally, then settle the exact
+	// costs: every dirty tour is recomputed from scratch, and the
+	// round-weighted absolute movement accrues into the reconciliation
+	// signal.
+	touchedSol := false
+	for i := range st.dirty.entries {
+		e := &st.dirty.entries[i]
+		t := &st.sols[e.k].tours[e.ti]
+		if e.refine && len(t.stops) >= 3 && len(t.stops) <= patchRefineMax {
+			st.refineTour(t)
+		}
+		newCost := st.tourCost(t)
+		t.cost = newCost
+		st.sols[e.k].touched = true
+		touchedSol = true
+		st.driftAbs += float64(st.roundsOf[e.k]) * math.Abs(newCost-e.oldCost)
+	}
+	// Solution costs are re-summed from their tours rather than adjusted
+	// by deltas: no incremental float accumulation can drift, and the
+	// cost depends only on the final tours — commuting batches (e.g.
+	// leaves of distinct sensors) land on bit-identical costs in any
+	// arrival order.
+	if touchedSol {
+		for k := range st.sols {
+			if !st.sols[k].touched {
+				continue
+			}
+			st.sols[k].touched = false
+			var c float64
+			for ti := range st.sols[k].tours {
+				c += st.sols[k].tours[ti].cost
+			}
+			st.sols[k].cost = c
+		}
+	}
+	st.dirty.clear()
+
+	st.version++
+	st.patched += int64(len(ops))
+	res.Cost = st.Cost()
+	res.Drift = st.Drift()
+	res.NeedReplan = res.Drift > st.cfg.maxDrift()
+
+	if check.Enabled {
+		if err := st.Verify(); err != nil {
+			panic("delta: Apply postcondition: " + err.Error())
+		}
+	}
+	return res, nil
+}
+
+// joinClass returns the prefix-solution class for a cycle under the
+// current round grid, capped at K: a sensor whose true class exceeds K
+// rides D_K (charged at least as often as it needs — feasible, merely
+// conservative until the next full replan rebuilds the classes).
+func (st *State) joinClass(cycle float64) int {
+	k := core.ClassIndex(cycle, st.tau1, st.base)
+	if k > st.k {
+		k = st.k
+	}
+	return k
+}
+
+// spliceInto inserts slot into prefix solution k: grid k-NN finds the
+// geometrically nearest sensor already planned in D_k, the new stop
+// goes into that sensor's tour at the cheapest insertion position, and
+// the tour is marked for local refinement. When D_k has no planned
+// sensor to anchor on (all its tours are empty), the nearest depot's
+// tour opens.
+func (st *State) spliceInto(k, slot int) {
+	sol := &st.sols[k]
+	p := st.sensors[slot].Pos
+	nSlots := len(st.sensors)
+	tourOf := sol.tourOf
+	u, _ := st.grid.Index().NearestTo(p.X, p.Y, func(v int) bool {
+		return v < nSlots && tourOf[v] >= 0
+	})
+	var ti int
+	if u >= 0 {
+		ti = int(tourOf[u])
+	} else {
+		ti = st.nearestDepot(p)
+	}
+	t := &sol.tours[ti]
+	st.dirty.mark(k, ti, t.cost, true)
+	pos := st.bestInsertPos(t, p)
+	t.stops = append(t.stops, 0)
+	copy(t.stops[pos+1:], t.stops[pos:])
+	t.stops[pos] = slot
+	sol.tourOf[slot] = int32(ti)
+	if len(t.stops) > patchRefineMax {
+		// Too big for the settle-time whole-tour sweep: smooth the
+		// splice right here, inside a bounded window around it.
+		st.windowRefine(t, pos)
+	}
+}
+
+// removeFrom shortcuts slot out of prefix solution k's tour.
+func (st *State) removeFrom(k, slot int) {
+	sol := &st.sols[k]
+	ti := int(sol.tourOf[slot])
+	if ti < 0 {
+		return
+	}
+	t := &sol.tours[ti]
+	st.dirty.mark(k, ti, t.cost, false)
+	for i, s := range t.stops {
+		if s == slot {
+			t.stops = append(t.stops[:i], t.stops[i+1:]...)
+			break
+		}
+	}
+	sol.tourOf[slot] = -1
+}
+
+// nearestDepot returns the depot number closest to p, ties to the
+// smallest number. Depot counts are small (<= 64); a linear scan is
+// both fastest and trivially deterministic.
+func (st *State) nearestDepot(p geom.Point) int {
+	best, bd := 0, math.Inf(1)
+	for l, d := range st.depots {
+		if dd := d.Dist(p); dd < bd {
+			best, bd = l, dd
+		}
+	}
+	return best
+}
+
+// bestInsertPos returns the cheapest position to insert p into t's
+// cycle depot -> stops... -> depot: the index i in [0, len(stops)]
+// minimizing d(prev, p) + d(p, next) - d(prev, next), ties to the
+// earliest edge.
+func (st *State) bestInsertPos(t *tour, p geom.Point) int {
+	m := len(t.stops)
+	if m == 0 {
+		return 0
+	}
+	dp := st.depots[t.depot]
+	prev := dp
+	best, bd := 0, math.Inf(1)
+	for i := 0; i <= m; i++ {
+		next := dp
+		if i < m {
+			next = st.sensors[t.stops[i]].Pos
+		}
+		if delta := prev.Dist(p) + p.Dist(next) - prev.Dist(next); delta < bd {
+			best, bd = i, delta
+		}
+		prev = next
+	}
+	return best
+}
+
+// refineTour runs the tour-local candidate-list sweeps on one patched
+// tour over the session grid. The vector is depot-rooted (index 0 is
+// the depot's metric index, which RefineTourGrid keeps in place) and
+// the stops come back in slot ids because sensor slot i *is* metric
+// index i.
+func (st *State) refineTour(t *tour) {
+	vec := make([]int, 0, len(t.stops)+1)
+	vec = append(vec, len(st.sensors)+t.depot)
+	vec = append(vec, t.stops...)
+	refined := tsp.RefineTourGrid(st.grid, vec, patchRefineRounds, st.sc)
+	copy(t.stops, refined[1:])
+}
+
+// windowRefine is the large-tour counterpart of refineTour: exhaustive
+// 2-opt over the ±patchWindow stops around an insertion at pos, with
+// the rest of the tour held fixed (the window's boundary points — stop
+// or depot — act as pinned path endpoints). Work is O(passes · w²) for
+// a window of w ≤ 2·patchWindow+1 stops, independent of tour length,
+// and the scan order is fixed, so the result is deterministic.
+func (st *State) windowRefine(t *tour, pos int) {
+	m := len(t.stops)
+	lo, hi := pos-patchWindow, pos+patchWindow+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > m {
+		hi = m
+	}
+	w := t.stops[lo:hi]
+	if len(w) < 3 {
+		return
+	}
+	dp := st.depots[t.depot]
+	head, tail := dp, dp
+	if lo > 0 {
+		head = st.sensors[t.stops[lo-1]].Pos
+	}
+	if hi < m {
+		tail = st.sensors[t.stops[hi]].Pos
+	}
+	at := func(i int) geom.Point { return st.sensors[w[i]].Pos }
+	for pass := 0; pass < patchRefineRounds; pass++ {
+		improved := false
+		for i := 0; i < len(w)-1; i++ {
+			prev := head
+			if i > 0 {
+				prev = at(i - 1)
+			}
+			for j := i + 1; j < len(w); j++ {
+				next := tail
+				if j+1 < len(w) {
+					next = at(j + 1)
+				}
+				// Reversing w[i..j] swaps the two boundary edges.
+				was := prev.Dist(at(i)) + at(j).Dist(next)
+				now := prev.Dist(at(j)) + at(i).Dist(next)
+				if now < was {
+					for a, b := i, j; a < b; a, b = a+1, b-1 {
+						w[a], w[b] = w[b], w[a]
+					}
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// tourCost recomputes one tour's exact length from its stop sequence.
+// Distances are geom.Point.Dist (math.Hypot), the same bits the grid
+// metric and the full planner produce.
+func (st *State) tourCost(t *tour) float64 {
+	if len(t.stops) == 0 {
+		return 0
+	}
+	dp := st.depots[t.depot]
+	prev := dp
+	var c float64
+	for _, s := range t.stops {
+		p := st.sensors[s].Pos
+		c += prev.Dist(p)
+		prev = p
+	}
+	return c + prev.Dist(dp)
+}
+
+// growFillInt32 resizes s to length n, preserving the prefix and
+// filling new entries with fill.
+func growFillInt32(s []int32, n int, fill int32) []int32 {
+	for len(s) < n {
+		s = append(s, fill)
+	}
+	return s
+}
+
+// growBools resizes s to length n, preserving the prefix.
+func growBools(s []bool, n int) []bool {
+	for len(s) < n {
+		s = append(s, false)
+	}
+	return s
+}

@@ -1,0 +1,76 @@
+package delta
+
+// TourView is one charger's tour in a plan view: the 0-based depot
+// number, the stop sequence in session slot ids, and the exact tour
+// length.
+type TourView struct {
+	Depot int
+	Stops []int
+	Cost  float64
+}
+
+// SolutionView is one prefix solution D_k with the number of rounds
+// that replay it inside (0, T).
+type SolutionView struct {
+	K      int
+	Rounds int
+	Cost   float64
+	Tours  []TourView
+}
+
+// PlanView is a read-only snapshot of a session's current patched plan,
+// the payload of the serving layer's GET /session/{id}/plan. Stops are
+// slot ids (stable across the session's whole life), not compact
+// indices, so a tenant can correlate them with its own join results.
+type PlanView struct {
+	N           int
+	Slots       int
+	Q           int
+	K           int
+	Tau1        float64
+	T           float64
+	Cost        float64
+	Drift       float64
+	Version     int64
+	Replans     int
+	PatchedOps  int64
+	Fingerprint uint64
+	Solutions   []SolutionView
+}
+
+// View materializes the current plan. The result shares no memory with
+// the State and stays valid across later deltas.
+func (st *State) View() *PlanView {
+	v := &PlanView{
+		N:           st.nAlive,
+		Slots:       len(st.sensors),
+		Q:           st.Q(),
+		K:           st.k,
+		Tau1:        st.tau1,
+		T:           st.cfg.T,
+		Cost:        st.Cost(),
+		Drift:       st.Drift(),
+		Version:     st.version,
+		Replans:     st.replans,
+		PatchedOps:  st.patched,
+		Fingerprint: st.fp.Hash(),
+		Solutions:   make([]SolutionView, len(st.sols)),
+	}
+	for k := range st.sols {
+		sol := &st.sols[k]
+		sv := SolutionView{K: k, Rounds: st.roundsOf[k], Cost: sol.cost}
+		for ti := range sol.tours {
+			t := &sol.tours[ti]
+			if len(t.stops) == 0 {
+				continue
+			}
+			sv.Tours = append(sv.Tours, TourView{
+				Depot: t.depot,
+				Stops: append([]int(nil), t.stops...),
+				Cost:  t.cost,
+			})
+		}
+		v.Solutions[k] = sv
+	}
+	return v
+}

@@ -179,6 +179,7 @@ func Analyzers() []*Analyzer {
 	// lint itself) may read the clock and print maps freely.
 	algo := []string{
 		"repro/internal/core",
+		"repro/internal/delta",
 		"repro/internal/energy",
 		"repro/internal/experiment",
 		"repro/internal/geom",
@@ -202,6 +203,7 @@ func Analyzers() []*Analyzer {
 	}
 	hot := []string{
 		"repro/internal/core",
+		"repro/internal/delta",
 		"repro/internal/metric",
 		"repro/internal/rooted",
 		"repro/internal/tsp",

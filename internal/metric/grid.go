@@ -507,3 +507,62 @@ func (gi *GridIndex) NearestExcluding(v int, comp []int32, bound float64) (int, 
 	}
 	return best, bd
 }
+
+// NearestTo returns the member nearest to the arbitrary point (x, y)
+// among members accepted by ok, with ties on distance going to the
+// smallest local id. It is the point-query twin of NearestExcluding:
+// the same ring expansion around the point's (clamped) cell, the same
+// conservative ring lower bound, so the scan is exact even for points
+// outside the indexed bounding box (such points clamp to a border cell
+// and the Chebyshev ring bound remains valid: any member in ring r of
+// the clamped cell is still at least (r-1)·cell from the query point,
+// because clamping only moves the query cell closer to the members).
+// It returns (-1, +Inf) when no member qualifies.
+//
+// The predicate makes this the insertion-point kernel of the delta
+// patcher (internal/delta): a joining sensor queries for the nearest
+// *live* member of a class prefix, skipping departed sensors and
+// depot vertices without rebuilding the index.
+func (gi *GridIndex) NearestTo(x, y float64, ok func(int) bool) (int, float64) {
+	cx := clampCell(int((x-gi.minX)/gi.cell), gi.nx)
+	cy := clampCell(int((y-gi.minY)/gi.cell), gi.ny)
+	best := -1
+	bd := math.Inf(1)
+	maxRing := gi.maxRing()
+	for r := 0; r <= maxRing; r++ {
+		if gi.ringLB(r) > bd {
+			break
+		}
+		x0, x1 := cx-r, cx+r
+		y0, y1 := cy-r, cy+r
+		for iy := y0; iy <= y1; iy++ {
+			if iy < 0 || iy >= gi.ny {
+				continue
+			}
+			step := 1
+			if iy != y0 && iy != y1 && x1 > x0 {
+				step = x1 - x0
+			}
+			for ix := x0; ix <= x1; ix += step {
+				if ix < 0 || ix >= gi.nx {
+					continue
+				}
+				c := iy*gi.nx + ix
+				for _, u32 := range gi.items[gi.start[c]:gi.start[c+1]] {
+					u := int(u32)
+					if ok != nil && !ok(u) {
+						continue
+					}
+					d := math.Hypot(gi.xs[u]-x, gi.ys[u]-y)
+					if d < bd || (d == bd && best != -1 && u < best) { //lint:allow floateq equal-distance smaller-id tie-break, deterministic by design
+						best, bd = u, d
+					}
+				}
+			}
+		}
+	}
+	if best == -1 {
+		return -1, math.Inf(1)
+	}
+	return best, bd
+}

@@ -184,6 +184,68 @@ func TestGridNearestExcluding(t *testing.T) {
 	}
 }
 
+// bruteNearestTo is the reference implementation of NearestTo: linear
+// scan with the same (distance, id) tie-break.
+func bruteNearestTo(pts []geom.Point, p geom.Point, ok func(int) bool) (int, float64) {
+	best, bd := -1, math.Inf(1)
+	for u := range pts {
+		if ok != nil && !ok(u) {
+			continue
+		}
+		d := math.Hypot(pts[u].X-p.X, pts[u].Y-p.Y)
+		if d < bd || (d == bd && best != -1 && u < best) {
+			best, bd = u, d
+		}
+	}
+	if best == -1 {
+		return -1, math.Inf(1)
+	}
+	return best, bd
+}
+
+// TestGridNearestTo checks the point-predicate query against brute
+// force: interior points, points far outside the indexed bounding box
+// (exercising the clamped-cell ring bound), coincident points, and
+// predicates that reject most or all members.
+func TestGridNearestTo(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	var lattice []geom.Point
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 6; x++ {
+			lattice = append(lattice, geom.Point{X: float64(x), Y: float64(y)})
+		}
+	}
+	cases := [][]geom.Point{randomPoints(r, 150), lattice, randomPoints(r, 1)}
+	preds := []func(int) bool{
+		nil,
+		func(u int) bool { return u%2 == 0 },
+		func(u int) bool { return u%7 == 3 },
+		func(u int) bool { return false },
+	}
+	for ci, pts := range cases {
+		gi := NewGrid(pts).Index()
+		queries := []geom.Point{
+			{X: 50, Y: 50}, {X: 0, Y: 0},
+			{X: -500, Y: 30}, {X: 1e4, Y: 1e4}, // far outside the box
+			pts[0], // coincident with a member
+			{X: pts[len(pts)/2].X, Y: -200},
+		}
+		for i := 0; i < 40; i++ {
+			queries = append(queries, geom.Point{X: r.Float64()*140 - 20, Y: r.Float64()*140 - 20})
+		}
+		for _, p := range queries {
+			for pi, ok := range preds {
+				wantU, wantD := bruteNearestTo(pts, p, ok)
+				gotU, gotD := gi.NearestTo(p.X, p.Y, ok)
+				if gotU != wantU || gotD != wantD {
+					t.Fatalf("case %d pred %d query %v: got (%d,%g), want (%d,%g)",
+						ci, pi, p, gotU, gotD, wantU, wantD)
+				}
+			}
+		}
+	}
+}
+
 // TestGridDistMatchesDense pins the bit-identity of Grid.Dist with a
 // materialized matrix — the foundation of every "grid equals dense"
 // claim in the planning layers.

@@ -238,6 +238,18 @@ var DefLatencyBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// FastLatencyBuckets resolve sub-millisecond operations: roughly
+// logarithmic from 10 µs to 1 s. Plan *patching* (internal/delta)
+// completes in tens of microseconds to single-digit milliseconds —
+// under DefLatencyBuckets every observation would land in the first
+// bucket and the histogram's p50/p99 would be indistinguishable. The
+// delta and session metrics use these bounds; full-plan latencies stay
+// on DefLatencyBuckets.
+var FastLatencyBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1,
+}
+
 // NewHistogram builds an unregistered histogram with the given upper
 // bounds (sorted ascending; nil means DefLatencyBuckets). Most callers
 // want Registry.Histogram instead.

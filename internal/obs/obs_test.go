@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -150,4 +152,55 @@ func TestPercentiles(t *testing.T) {
 	// Interpolation between two samples.
 	ps = Percentiles([]float64{10, 20}, 0.25)
 	approx(t, "interpolated quantile", ps[0], 12.5, 1e-12)
+}
+
+// TestFastLatencyBucketsResolveMicroseconds pins the reason the fast
+// bucket set exists: a spread of patch-scale latencies (30 µs – 4 ms)
+// that DefLatencyBuckets would collapse into its first two buckets must
+// land in distinct FastLatencyBuckets, so the exposition can actually
+// distinguish a 50 µs patch from a 2 ms one.
+func TestFastLatencyBucketsResolveMicroseconds(t *testing.T) {
+	for i := 1; i < len(FastLatencyBuckets); i++ {
+		if FastLatencyBuckets[i] <= FastLatencyBuckets[i-1] {
+			t.Fatalf("FastLatencyBuckets not ascending at %d: %g <= %g",
+				i, FastLatencyBuckets[i], FastLatencyBuckets[i-1])
+		}
+	}
+	obs := []float64{0.00003, 0.00008, 0.0004, 0.004}
+
+	slow := NewHistogram(nil) // DefLatencyBuckets
+	fast := NewHistogram(FastLatencyBuckets)
+	for _, v := range obs {
+		slow.Observe(v)
+		fast.Observe(v)
+	}
+	distinct := func(h *Histogram, bounds []float64) int {
+		// Count non-empty buckets via the text exposition's cumulative
+		// counts: a bucket is non-empty when the cumulative count grows.
+		var buf bytes.Buffer
+		if err := h.writeText(&buf, "x"); err != nil {
+			t.Fatal(err)
+		}
+		nonEmpty, last := 0, int64(0)
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if !strings.HasPrefix(line, "x_bucket") {
+				continue
+			}
+			var cum int64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &cum); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			if cum > last {
+				nonEmpty++
+			}
+			last = cum
+		}
+		return nonEmpty
+	}
+	if got := distinct(slow, DefLatencyBuckets); got >= len(obs) {
+		t.Fatalf("DefLatencyBuckets resolved all %d patch latencies (%d buckets) — fast buckets would be redundant", len(obs), got)
+	}
+	if got := distinct(fast, FastLatencyBuckets); got != len(obs) {
+		t.Fatalf("FastLatencyBuckets resolved %d of %d patch latencies into distinct buckets", got, len(obs))
+	}
 }

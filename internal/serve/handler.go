@@ -26,9 +26,14 @@ type healthBody struct {
 
 // NewHandler routes the chargerd HTTP API onto s:
 //
-//	POST /plan     — plan a topology (JSON in, JSON out)
-//	GET  /healthz  — liveness plus pool stats
-//	GET  /metrics  — Prometheus text exposition of the serving metrics
+//	POST   /plan                — plan a topology (JSON in, JSON out)
+//	POST   /session             — register a network as a stateful session
+//	GET    /session/{id}        — session metadata
+//	GET    /session/{id}/plan   — the session's current patched plan
+//	POST   /session/{id}/delta  — stream one atomic batch of changes
+//	DELETE /session/{id}        — drop the session
+//	GET    /healthz             — liveness plus pool stats
+//	GET    /metrics             — Prometheus text exposition of the serving metrics
 //
 // Successful /plan responses carry an X-Chargerd-Cache header (hit,
 // miss or join) so clients and the load generator can observe cache
@@ -38,6 +43,7 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("POST /plan", func(w http.ResponseWriter, r *http.Request) {
 		handlePlan(s, w, r)
 	})
+	sessionRoutes(mux, s)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, healthBody{
 			Status:        "ok",

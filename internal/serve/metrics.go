@@ -17,6 +17,23 @@ const (
 	OutcomeError = "error"
 )
 
+// Session replan reasons, the label values of
+// chargerd_session_replans_total.
+const (
+	// ReplanDrift is a reconciling replan triggered by the cost-drift
+	// ratio crossing the session budget.
+	ReplanDrift = "drift"
+	// ReplanStructural is an inline replan forced by a delta no patch
+	// can absorb (a cycle below the base period τ_1).
+	ReplanStructural = "structural"
+	// ReplanOverflow is a background replan discarded because the
+	// session's delta log overflowed while it ran; it is retriggered
+	// from a fresh snapshot.
+	ReplanOverflow = "overflow"
+	// ReplanError is a replan (or its replay) that failed.
+	ReplanError = "error"
+)
+
 // Metrics bundles the serving layer's instruments over one
 // obs.Registry. Metric names and units are documented in DESIGN.md §11.
 type Metrics struct {
@@ -45,6 +62,27 @@ type Metrics struct {
 	// (chargerd_heap_inuse_bytes) — the gauge the large-n memory
 	// guarantee (peak well below O(n²); DESIGN.md §12) is monitored by.
 	HeapBytes *obs.MemGauge
+	// SessionsActive is the number of live tenant sessions
+	// (chargerd_sessions_active).
+	SessionsActive *obs.Gauge
+	// SessionsEvicted counts sessions dropped by LRU pressure or delete
+	// (chargerd_sessions_evicted_total).
+	SessionsEvicted *obs.Counter
+	// Deltas counts finished delta batches by outcome
+	// (chargerd_deltas_total{outcome=...}).
+	Deltas *obs.CounterVec
+	// DeltaOps counts individual applied delta operations
+	// (chargerd_delta_ops_total).
+	DeltaOps *obs.Counter
+	// DeltaLatency is end-to-end POST /session/{id}/delta latency in
+	// seconds (chargerd_delta_seconds). Patches complete in the tens of
+	// microseconds, so the buckets are obs.FastLatencyBuckets, not the
+	// request defaults — DefLatencyBuckets would collapse every
+	// observation into its first bucket.
+	DeltaLatency *obs.Histogram
+	// SessionReplans counts session full replans by reason
+	// (chargerd_session_replans_total{reason=...}).
+	SessionReplans *obs.CounterVec
 }
 
 // NewMetrics registers the serving metrics on reg (a nil reg gets a
@@ -62,8 +100,15 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Coalesced:   reg.Counter("chargerd_coalesced_total", "requests joined onto an identical in-flight plan"),
 		RequestLatency: reg.Histogram("chargerd_request_seconds",
 			"end-to-end request latency in seconds", nil),
-		Tracer:    obs.NewTracer(reg, "chargerd"),
-		HeapBytes: obs.NewMemGauge(reg, "chargerd_heap_inuse_bytes", "heap bytes in use, sampled after each plan"),
+		Tracer:          obs.NewTracer(reg, "chargerd"),
+		HeapBytes:       obs.NewMemGauge(reg, "chargerd_heap_inuse_bytes", "heap bytes in use, sampled after each plan"),
+		SessionsActive:  reg.Gauge("chargerd_sessions_active", "live tenant sessions"),
+		SessionsEvicted: reg.Counter("chargerd_sessions_evicted_total", "sessions dropped by LRU pressure or delete"),
+		Deltas:          reg.CounterVec("chargerd_deltas_total", "outcome", "finished session delta batches by outcome"),
+		DeltaOps:        reg.Counter("chargerd_delta_ops_total", "applied session delta operations"),
+		DeltaLatency: reg.Histogram("chargerd_delta_seconds",
+			"end-to-end session delta latency in seconds", obs.FastLatencyBuckets),
+		SessionReplans: reg.CounterVec("chargerd_session_replans_total", "reason", "session full replans by reason"),
 	}
 }
 

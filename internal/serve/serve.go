@@ -45,6 +45,9 @@ type Config struct {
 	RetryAfter time.Duration
 	// Registry receives the serving metrics; nil means a fresh one.
 	Registry *obs.Registry
+	// Sessions sizes the stateful tenant-session layer (the streaming
+	// delta API); the zero value gets sensible defaults.
+	Sessions SessionConfig
 
 	// planFn overrides the planning function; package tests use it to
 	// block or fail deterministically. nil means encodePlan.
@@ -93,6 +96,8 @@ type Server struct {
 	cache *planCache
 	jobs  chan *inflight
 	wg    sync.WaitGroup
+
+	sessions *Sessions
 
 	mu       sync.Mutex
 	inflight map[cacheKey]*inflight
@@ -154,6 +159,7 @@ func New(cfg Config) *Server {
 	if cfg.planFn != nil {
 		s.planFn = cfg.planFn
 	}
+	s.sessions = newSessions(cfg.Sessions, s.met, workers)
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -173,7 +179,11 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.jobs)
 	s.wg.Wait()
+	s.sessions.Close()
 }
+
+// Sessions returns the stateful tenant-session layer.
+func (s *Server) Sessions() *Sessions { return s.sessions }
 
 // Metrics returns the server's instruments (for handler wiring and
 // /metrics exposition).

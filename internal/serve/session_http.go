@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/delta"
+)
+
+// MaxDeltaOps caps the operations one delta batch may carry; larger
+// changes belong in a fresh session (a full replan would beat patching
+// them anyway).
+const MaxDeltaOps = 10_000
+
+// DeltaOpJSON is one operation in a POST /session/{id}/delta body.
+// Op selects the kind: "join" reads x, y, cycle and optional capacity
+// (default 1); "leave" reads id; "rate" reads id and cycle. Slot ids
+// are the ones returned in earlier responses ("joined" arrays and the
+// create-time 0..n-1 numbering).
+type DeltaOpJSON struct {
+	Op       string  `json:"op"`
+	ID       *int    `json:"id,omitempty"`
+	X        float64 `json:"x,omitempty"`
+	Y        float64 `json:"y,omitempty"`
+	Capacity float64 `json:"capacity,omitempty"`
+	Cycle    float64 `json:"cycle,omitempty"`
+}
+
+// DeltaRequest is the body of POST /session/{id}/delta: one atomic
+// batch of topology changes.
+type DeltaRequest struct {
+	Ops []DeltaOpJSON `json:"ops"`
+}
+
+// parseDeltaRequest decodes and validates a delta body into patcher
+// ops. Structural validation against the session's state happens later,
+// on the session's shard; this only rejects what no session could
+// accept.
+func parseDeltaRequest(data []byte) ([]delta.Op, error) {
+	var req DeltaRequest
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, &RequestError{fmt.Sprintf("invalid JSON: %v", err)}
+	}
+	if dec.More() {
+		return nil, &RequestError{"trailing data after JSON document"}
+	}
+	if len(req.Ops) == 0 {
+		return nil, badRequestErr("a delta needs at least one op")
+	}
+	if len(req.Ops) > MaxDeltaOps {
+		return nil, badRequestErr("delta carries %d ops, cap is %d", len(req.Ops), MaxDeltaOps)
+	}
+	ops := make([]delta.Op, len(req.Ops))
+	for i, o := range req.Ops {
+		switch o.Op {
+		case "join":
+			ops[i] = delta.Op{Kind: delta.OpJoin, X: o.X, Y: o.Y, Capacity: o.Capacity, Cycle: o.Cycle}
+		case "leave":
+			if o.ID == nil {
+				return nil, badRequestErr("op %d: leave needs an id", i)
+			}
+			ops[i] = delta.Op{Kind: delta.OpLeave, ID: *o.ID}
+		case "rate":
+			if o.ID == nil {
+				return nil, badRequestErr("op %d: rate needs an id", i)
+			}
+			ops[i] = delta.Op{Kind: delta.OpRate, ID: *o.ID, Cycle: o.Cycle}
+		default:
+			return nil, badRequestErr("op %d: unknown op %q (have: join, leave, rate)", i, o.Op)
+		}
+	}
+	return ops, nil
+}
+
+func badRequestErr(format string, args ...any) *RequestError {
+	return &RequestError{fmt.Sprintf(format, args...)}
+}
+
+// sessionRoutes mounts the stateful streaming API:
+//
+//	POST   /session             — register a network, returns the session id
+//	GET    /session/{id}        — session metadata
+//	GET    /session/{id}/plan   — the current patched plan
+//	POST   /session/{id}/delta  — apply one atomic batch of changes
+//	DELETE /session/{id}        — drop the session
+func sessionRoutes(mux *http.ServeMux, s *Server) {
+	mux.HandleFunc("POST /session", func(w http.ResponseWriter, r *http.Request) {
+		handleSessionCreate(s, w, r)
+	})
+	mux.HandleFunc("GET /session/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.Sessions().Get(r.PathValue("id"))
+		if err != nil {
+			writeSessionError(s, w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("GET /session/{id}/plan", func(w http.ResponseWriter, r *http.Request) {
+		view, err := s.Sessions().Plan(r.PathValue("id"))
+		if err != nil {
+			writeSessionError(s, w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, planViewJSON(view))
+	})
+	mux.HandleFunc("POST /session/{id}/delta", func(w http.ResponseWriter, r *http.Request) {
+		handleSessionDelta(s, w, r)
+	})
+	mux.HandleFunc("DELETE /session/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Sessions().Delete(r.PathValue("id")); err != nil {
+			writeSessionError(s, w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+}
+
+// handleSessionCreate registers a tenant network. The body is the same
+// topology document POST /plan takes, restricted to the schedule
+// (MinTotalDistance-family) algorithms — single-round plans have no
+// round structure to patch.
+func handleSessionCreate(s *Server, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	data, err := readAll(r)
+	if err != nil {
+		var tooLarge *BodyTooLargeError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, tooLarge.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	req, err := ParseRequest(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	info, err := s.Sessions().Create(req)
+	if err != nil {
+		writeSessionError(s, w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleSessionDelta applies one delta batch, instrumented with the
+// sub-millisecond latency histogram and the per-outcome counters.
+func handleSessionDelta(s *Server, w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { s.Metrics().DeltaLatency.Observe(time.Since(t0).Seconds()) }()
+
+	r.Body = http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	data, err := readAll(r)
+	if err != nil {
+		s.Metrics().Deltas.With(OutcomeError).Inc()
+		var tooLarge *BodyTooLargeError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, tooLarge.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	ops, err := parseDeltaRequest(data)
+	if err != nil {
+		s.Metrics().Deltas.With(OutcomeError).Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := s.Sessions().Delta(r.PathValue("id"), ops)
+	if err != nil {
+		outcome := OutcomeError
+		if errors.Is(err, ErrOverloaded) {
+			outcome = OutcomeShed
+		}
+		s.Metrics().Deltas.With(outcome).Inc()
+		writeSessionError(s, w, err)
+		return
+	}
+	s.Metrics().Deltas.With(OutcomeOK).Inc()
+	writeJSON(w, http.StatusOK, res)
+}
+
+// writeSessionError maps session-layer errors onto HTTP statuses:
+//
+//	unknown/evicted session  → 404
+//	malformed request        → 400
+//	shard queue full (shed)  → 503 + Retry-After
+//	server closed            → 503
+//	session-fatal failure    → 500
+func writeSessionError(s *Server, w http.ResponseWriter, err error) {
+	var reqErr *RequestError
+	switch {
+	case errors.Is(err, ErrSessionNotFound):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.As(err, &reqErr):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter().Seconds()+0.5)))
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// SessionPlanJSON is the body of GET /session/{id}/plan: the patched
+// schedule structure. Unlike POST /plan it lists the K+1 prefix
+// solutions (with how many rounds replay each) instead of materializing
+// every dispatch round, and tour stops are session slot ids.
+type SessionPlanJSON struct {
+	N           int               `json:"n"`
+	Slots       int               `json:"slots"`
+	Q           int               `json:"q"`
+	K           int               `json:"k"`
+	Tau1        float64           `json:"tau1"`
+	T           float64           `json:"t"`
+	Cost        float64           `json:"cost"`
+	Drift       float64           `json:"drift"`
+	Version     int64             `json:"version"`
+	Replans     int               `json:"replans"`
+	PatchedOps  int64             `json:"patched_ops"`
+	Fingerprint string            `json:"fingerprint"`
+	Solutions   []SessionSolution `json:"solutions"`
+}
+
+// SessionSolution is one prefix solution D_k in a session plan.
+type SessionSolution struct {
+	K      int        `json:"k"`
+	Rounds int        `json:"rounds"`
+	Cost   float64    `json:"cost"`
+	Tours  []PlanTour `json:"tours"`
+}
+
+// planViewJSON converts the patcher's view into the response shape.
+func planViewJSON(v *delta.PlanView) *SessionPlanJSON {
+	out := &SessionPlanJSON{
+		N:           v.N,
+		Slots:       v.Slots,
+		Q:           v.Q,
+		K:           v.K,
+		Tau1:        v.Tau1,
+		T:           v.T,
+		Cost:        v.Cost,
+		Drift:       v.Drift,
+		Version:     v.Version,
+		Replans:     v.Replans,
+		PatchedOps:  v.PatchedOps,
+		Fingerprint: fmt.Sprintf("%016x", v.Fingerprint),
+		Solutions:   make([]SessionSolution, len(v.Solutions)),
+	}
+	for i, sol := range v.Solutions {
+		js := SessionSolution{K: sol.K, Rounds: sol.Rounds, Cost: sol.Cost, Tours: make([]PlanTour, 0, len(sol.Tours))}
+		for _, t := range sol.Tours {
+			js.Tours = append(js.Tours, PlanTour{Depot: t.Depot, Stops: t.Stops, Cost: t.Cost})
+		}
+		out.Solutions[i] = js
+	}
+	return out
+}

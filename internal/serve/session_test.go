@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/delta"
+	"repro/internal/experiment"
+)
+
+func newSessionServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestSessionLifecycleHTTP drives the whole streaming API through the
+// HTTP handler: create, inspect, patch with every op kind, fetch the
+// patched plan, delete, and observe the 404 afterwards.
+func TestSessionLifecycleHTTP(t *testing.T) {
+	s := newSessionServer(t, Config{Workers: 2})
+	h := NewHandler(s)
+	net := testNetwork(t, 40, 3, 51)
+
+	body, err := json.Marshal(NewRequest(net, experiment.AlgoMTD, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/session", bytes.NewReader(body)))
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	var info SessionInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.N != 40 || info.Version != 1 {
+		t.Fatalf("create info: %+v", info)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/session/"+info.ID, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("get: %d %s", rec.Code, rec.Body.String())
+	}
+
+	deltaBody := fmt.Sprintf(`{"ops":[
+		{"op":"join","x":500,"y":500,"cycle":%g},
+		{"op":"rate","id":3,"cycle":%g},
+		{"op":"leave","id":7}
+	]}`, info.Tau1*3, info.Tau1*5)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/session/"+info.ID+"/delta", bytes.NewReader([]byte(deltaBody))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delta: %d %s", rec.Code, rec.Body.String())
+	}
+	var dres DeltaResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &dres); err != nil {
+		t.Fatal(err)
+	}
+	if dres.Version != 2 || len(dres.Joined) != 1 || dres.Joined[0] != 40 {
+		t.Fatalf("delta result: %+v", dres)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/session/"+info.ID+"/plan", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("plan: %d %s", rec.Code, rec.Body.String())
+	}
+	var plan SessionPlanJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.N != 40 || plan.Slots != 41 || plan.Version != 2 {
+		t.Fatalf("plan: n=%d slots=%d version=%d", plan.N, plan.Slots, plan.Version)
+	}
+	// The joined slot must be visited; the departed one must not.
+	visits := map[int]bool{}
+	for _, sol := range plan.Solutions {
+		for _, tour := range sol.Tours {
+			for _, stop := range tour.Stops {
+				visits[stop] = true
+			}
+		}
+	}
+	if !visits[40] || visits[7] {
+		t.Fatalf("patched plan visits: joined=%v departed=%v", visits[40], visits[7])
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("DELETE", "/session/"+info.ID, nil))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/session/"+info.ID, nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", rec.Code)
+	}
+}
+
+// TestSessionBadRequests pins the error mapping of the session routes.
+func TestSessionBadRequests(t *testing.T) {
+	s := newSessionServer(t, Config{Workers: 1})
+	h := NewHandler(s)
+	net := testNetwork(t, 10, 2, 52)
+
+	// Single-round algorithms cannot open sessions.
+	body, _ := json.Marshal(NewRequest(net, experiment.AlgoQRootedApprox, 0))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/session", bytes.NewReader(body)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("q-rooted session create: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Non-integer rounding bases break the divisibility round structure.
+	req := NewRequest(net, experiment.AlgoMTD, 64)
+	req.Base = 2.5
+	body, _ = json.Marshal(req)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/session", bytes.NewReader(body)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("base=2.5 session create: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Unknown and malformed session ids are 404, not 500.
+	for _, id := range []string{"zz", "00-0000000000000000-00000000", "ff-0000000000000000-00000000"} {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/session/"+id, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("id %q: %d", id, rec.Code)
+		}
+	}
+
+	// A structurally invalid op is a 400 and leaves the session usable.
+	body, _ = json.Marshal(NewRequest(net, experiment.AlgoMTD, 64))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/session", bytes.NewReader(body)))
+	var info SessionInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/session/"+info.ID+"/delta",
+		bytes.NewReader([]byte(`{"ops":[{"op":"leave","id":9999}]}`))))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad op: %d %s", rec.Code, rec.Body.String())
+	}
+	if got, err := s.Sessions().Get(info.ID); err != nil || got.Version != 1 {
+		t.Fatalf("session after rejected delta: %+v, %v", got, err)
+	}
+}
+
+// TestSessionConcurrentDeltasSerialize is the session race contract:
+// concurrent delta batches of commuting ops (disjoint leaves commute
+// exactly — shortcut removal and from-scratch cost recompute do not
+// depend on order) serialize through the shard to the same final state
+// a serial session reaches, whatever the interleaving. Run under -race
+// this also exercises the shard loop's synchronization.
+func TestSessionConcurrentDeltasSerialize(t *testing.T) {
+	const leaves = 24
+	net := testNetwork(t, 60, 3, 53)
+
+	s := newSessionServer(t, Config{Workers: 2, Sessions: SessionConfig{Queue: 4 * leaves, MaxDrift: 1e18}})
+	info, err := s.Sessions().Create(NewRequest(net, experiment.AlgoMTD, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < leaves; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if _, err := s.Sessions().Delta(info.ID, []delta.Op{{Kind: delta.OpLeave, ID: id}}); err != nil {
+				t.Errorf("leave %d: %v", id, err)
+			}
+		}(2 * i) // disjoint ids
+	}
+	wg.Wait()
+	got, err := s.Sessions().Get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial reference: same leaves, fixed order, separate server.
+	ref := newSessionServer(t, Config{Workers: 1, Sessions: SessionConfig{MaxDrift: 1e18}})
+	rinfo, err := ref.Sessions().Create(NewRequest(net, experiment.AlgoMTD, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < leaves; i++ {
+		if _, err := ref.Sessions().Delta(rinfo.ID, []delta.Op{{Kind: delta.OpLeave, ID: 2 * i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := ref.Sessions().Get(rinfo.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != want.Fingerprint || got.Cost != want.Cost || got.N != want.N || got.Version != want.Version { //lint:allow floateq commuting batches must land on bit-identical costs
+		t.Fatalf("concurrent state (fp=%s cost=%g n=%d v=%d) != serial (fp=%s cost=%g n=%d v=%d)",
+			got.Fingerprint, got.Cost, got.N, got.Version,
+			want.Fingerprint, want.Cost, want.N, want.Version)
+	}
+}
+
+// TestSessionEvictionVsInflightDelta races LRU eviction against
+// streaming deltas on a one-slot shard: the delta that loses the race
+// gets a clean not-found (the lookup happens at execution time on the
+// shard), never a write to an evicted session. Run under -race.
+func TestSessionEvictionVsInflightDelta(t *testing.T) {
+	net := testNetwork(t, 20, 2, 54)
+	s := newSessionServer(t, Config{Workers: 1, Sessions: SessionConfig{Shards: 1, PerShard: 1, Queue: 256, MaxDrift: 1e18}})
+
+	info, err := s.Sessions().Create(NewRequest(net, experiment.AlgoMTD, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	notFound := 0
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			_, err := s.Sessions().Delta(info.ID, []delta.Op{
+				{Kind: delta.OpJoin, X: 100, Y: 100, Cycle: info.Tau1 * 2},
+			})
+			if errors.Is(err, ErrSessionNotFound) {
+				notFound++
+				return
+			}
+			if err != nil && !errors.Is(err, ErrOverloaded) {
+				t.Errorf("delta %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	// Creating a second session on the 1-slot shard evicts the first.
+	if _, err := s.Sessions().Create(NewRequest(testNetwork(t, 20, 2, 55), experiment.AlgoMTD, 64)); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if notFound != 1 {
+		t.Fatalf("racing deltas saw %d not-found results, want exactly 1 then stop", notFound)
+	}
+	if _, err := s.Sessions().Get(info.ID); !errors.Is(err, ErrSessionNotFound) {
+		t.Fatalf("evicted session still answers: %v", err)
+	}
+}
+
+// TestSessionShardIsolation checks sessions do not bleed into each
+// other: streaming heavy churn into one session leaves another's
+// version, cost and fingerprint untouched, including when both live on
+// the same shard (and its shared scratch arena).
+func TestSessionShardIsolation(t *testing.T) {
+	s := newSessionServer(t, Config{Workers: 2, Sessions: SessionConfig{Shards: 1, MaxDrift: 1e18}})
+	a, err := s.Sessions().Create(NewRequest(testNetwork(t, 30, 2, 56), experiment.AlgoMTD, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Sessions().Create(NewRequest(testNetwork(t, 30, 2, 57), experiment.AlgoMTD, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Sessions().Delta(a.ID, []delta.Op{
+			{Kind: delta.OpJoin, X: float64(10 + i*7), Y: 200, Cycle: a.Tau1 * 2},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := s.Sessions().Get(b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Version != b.Version || after.Cost != b.Cost || after.Fingerprint != b.Fingerprint { //lint:allow floateq isolation contract: B must be bit-for-bit untouched
+		t.Fatalf("churn on session A changed B: before %+v, after %+v", b, after)
+	}
+}
+
+// TestSessionDriftReconciliation drives a session over a tiny drift
+// budget with synchronous reconciliation and checks the replan fires,
+// resets the drift and keeps the session serving.
+func TestSessionDriftReconciliation(t *testing.T) {
+	net := testNetwork(t, 40, 3, 58)
+	s := newSessionServer(t, Config{Workers: 1, Sessions: SessionConfig{MaxDrift: 1e-9, SyncReplan: true}})
+	info, err := s.Sessions().Create(NewRequest(net, experiment.AlgoMTD, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawReplan := false
+	for i := 0; i < 10 && !sawReplan; i++ {
+		res, err := s.Sessions().Delta(info.ID, []delta.Op{
+			{Kind: delta.OpJoin, X: float64(50 + i*90), Y: float64(30 + i*80), Cycle: info.Tau1 * 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NeedReplan {
+			sawReplan = true
+			if res.Drift <= 1e-9 {
+				t.Fatalf("NeedReplan with drift %g", res.Drift)
+			}
+		}
+	}
+	if !sawReplan {
+		t.Fatal("10 joins never crossed a 1e-9 drift budget")
+	}
+	after, err := s.Sessions().Get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Replans == 0 {
+		t.Fatal("synchronous reconciliation did not run")
+	}
+	if after.Drift != 0 {
+		t.Fatalf("drift %g after reconciliation, want 0", after.Drift)
+	}
+	if got := s.Metrics().SessionReplans.Value(ReplanDrift); got == 0 {
+		t.Fatal("chargerd_session_replans_total{reason=drift} stayed 0")
+	}
+}
+
+// TestSessionBackgroundReconciliation exercises the asynchronous path:
+// the replan runs off the shard, replays the ring and swaps in, with
+// deltas continuing to land meanwhile.
+func TestSessionBackgroundReconciliation(t *testing.T) {
+	net := testNetwork(t, 40, 3, 59)
+	s := newSessionServer(t, Config{Workers: 2, Sessions: SessionConfig{MaxDrift: 1e-9, Queue: 256}})
+	info, err := s.Sessions().Create(NewRequest(net, experiment.AlgoMTD, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := s.Sessions().Delta(info.ID, []delta.Op{
+			{Kind: delta.OpJoin, X: float64(20 + i*31%960), Y: float64(15 + i*47%960), Cycle: info.Tau1 * 2.5},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The background replan completes on the shard before this Get runs
+	// or after — either way the session keeps answering consistently.
+	after, err := s.Sessions().Get(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.N != 70 || after.Version != 31 {
+		t.Fatalf("after churn: n=%d version=%d, want 70/31", after.N, after.Version)
+	}
+}

@@ -84,6 +84,84 @@ func (nw *Network) Equal(o *Network) bool {
 	return true
 }
 
+// FingerprintAccum is the incremental form of Fingerprint: it carries
+// the order-independent multiset accumulators (per-record hash sum and
+// xor) separately from the final fold, so one sensor can be applied or
+// removed in O(1) instead of rehashing the whole deployment. The
+// streaming session layer keeps one per tenant and re-derives the
+// session fingerprint after every delta batch.
+//
+// Hash() is pinned to Fingerprint: for any sequence of adds, removes
+// and updates, the accumulator's hash equals Fingerprint of a Network
+// holding the same field, base station, depot list and live sensor
+// multiset (TestFingerprintAccumMatchesFromScratch). Removing a sensor
+// record that was never added corrupts the accumulator silently —
+// callers own that bookkeeping.
+type FingerprintAccum struct {
+	headerHash           uint64
+	n                    int
+	sensorSum, sensorXor uint64
+	q                    int
+	depotSum, depotXor   uint64
+}
+
+// NewFingerprintAccum seeds an accumulator from a network; the initial
+// Hash() equals Fingerprint(nw).
+func NewFingerprintAccum(nw *Network) *FingerprintAccum {
+	a := &FingerprintAccum{
+		headerHash: fpRecord(fpHeaderSeed,
+			nw.Field.Min.X, nw.Field.Min.Y, nw.Field.Max.X, nw.Field.Max.Y,
+			nw.Base.X, nw.Base.Y),
+		q: nw.Q(),
+	}
+	for _, s := range nw.Sensors {
+		a.AddSensor(s)
+	}
+	for _, d := range nw.Depots {
+		h := fpRecord(fpDepotSeed, d.X, d.Y)
+		a.depotSum += h
+		a.depotXor ^= h
+	}
+	return a
+}
+
+// AddSensor applies one sensor to the multiset.
+func (a *FingerprintAccum) AddSensor(s Sensor) {
+	h := fpRecord(fpSensorSeed, s.Pos.X, s.Pos.Y, s.Capacity, s.Cycle)
+	a.sensorSum += h
+	a.sensorXor ^= h
+	a.n++
+}
+
+// RemoveSensor removes one sensor previously added (sum is inverted by
+// subtraction, xor by itself).
+func (a *FingerprintAccum) RemoveSensor(s Sensor) {
+	h := fpRecord(fpSensorSeed, s.Pos.X, s.Pos.Y, s.Capacity, s.Cycle)
+	a.sensorSum -= h
+	a.sensorXor ^= h
+	a.n--
+}
+
+// UpdateSensor replaces old with new in the multiset.
+func (a *FingerprintAccum) UpdateSensor(old, new Sensor) {
+	a.RemoveSensor(old)
+	a.AddSensor(new)
+}
+
+// N returns the current sensor count.
+func (a *FingerprintAccum) N() int { return a.n }
+
+// Hash folds the accumulators exactly as Fingerprint does.
+func (a *FingerprintAccum) Hash() uint64 {
+	h := fpMix(a.headerHash ^ uint64(a.n))
+	h = fpMix(h ^ a.sensorSum)
+	h = fpMix(h ^ a.sensorXor)
+	h = fpMix(h ^ uint64(a.q))
+	h = fpMix(h ^ a.depotSum)
+	h = fpMix(h ^ a.depotXor)
+	return h
+}
+
 // fpRecord hashes one record's float fields under a stream seed.
 func fpRecord(seed uint64, vals ...float64) uint64 {
 	h := fpMix(seed)

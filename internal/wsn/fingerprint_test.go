@@ -100,3 +100,58 @@ func TestFingerprintCrossRunStability(t *testing.T) {
 		t.Error("a network must Equal itself")
 	}
 }
+
+// TestFingerprintAccumMatchesFromScratch is the incremental-update
+// property: after any churn sequence of joins, leaves and in-place
+// cycle updates, the accumulator's hash equals Fingerprint computed
+// from scratch over the surviving sensor multiset. Sensor IDs are
+// deliberately left stale in the reference network — Fingerprint
+// excludes them, and the streaming session layer relies on that
+// (its slot numbers are not compact ids).
+func TestFingerprintAccumMatchesFromScratch(t *testing.T) {
+	src := rng.New(99)
+	nw, err := Generate(src.Split(1), GenConfig{
+		N: 40, Q: 4, Dist: LinearDist{TauMin: 1, TauMax: 50, Sigma: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewFingerprintAccum(nw)
+	if got, want := acc.Hash(), Fingerprint(nw); got != want {
+		t.Fatalf("fresh accumulator hash %#x != Fingerprint %#x", got, want)
+	}
+
+	// live mirrors the multiset the accumulator should be tracking.
+	live := append([]Sensor(nil), nw.Sensors...)
+	churn := src.Split(2)
+	for step := 0; step < 300; step++ {
+		switch op := churn.Intn(3); {
+		case op == 0 || len(live) == 0: // join
+			s := Sensor{
+				ID:       1000 + step, // stale on purpose; excluded from the hash
+				Pos:      geom.Pt(churn.Uniform(0, 1000), churn.Uniform(0, 1000)),
+				Capacity: 1,
+				Cycle:    churn.Uniform(1, 50),
+			}
+			live = append(live, s)
+			acc.AddSensor(s)
+		case op == 1: // leave
+			i := churn.Intn(len(live))
+			acc.RemoveSensor(live[i])
+			live = append(live[:i], live[i+1:]...)
+		default: // rate update
+			i := churn.Intn(len(live))
+			updated := live[i]
+			updated.Cycle = churn.Uniform(1, 50)
+			acc.UpdateSensor(live[i], updated)
+			live[i] = updated
+		}
+		ref := &Network{Field: nw.Field, Base: nw.Base, Sensors: live, Depots: nw.Depots}
+		if got, want := acc.Hash(), Fingerprint(ref); got != want {
+			t.Fatalf("step %d: accumulator hash %#x != from-scratch %#x (n=%d)", step, got, want, len(live))
+		}
+		if acc.N() != len(live) {
+			t.Fatalf("step %d: accumulator n=%d, want %d", step, acc.N(), len(live))
+		}
+	}
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# churn_smoke.sh — end-to-end smoke test of the streaming-session path.
+#
+# Builds chargerd and loadgen, starts the daemon on a scratch port, and
+# drives one tenant session through a strict closed-loop churn load:
+# batched join/leave/rate deltas patched in place, periodic cold /plan
+# requests of the same live topology as the full-replan baseline, and a
+# final client-side audit that the patched plan still meets every
+# charging-gap bound. Strict mode fails on any request error, a gap
+# violation, a delta-p99 : replan-p99 speedup under the floor, or a
+# patched cost above the cost-ratio ceiling. Tunables via environment:
+#
+#   CHURN_DURATION     load duration                  (default 10s)
+#   CHURN_N, CHURN_Q   topology size                  (default 5000 sensors, 8 depots)
+#   CHURN_BATCH        delta ops per batch            (default 8)
+#   CHURN_COLD_FRAC    cold /plan requests per batch  (default 0.02)
+#   CHURN_ADDR         listen address                 (default localhost:18090)
+#   CHURN_MIN_SPEEDUP  replan-p99/delta-p99 floor     (default 3 — CI runners
+#                      are slow and small; the committed SERVE_pr7.json
+#                      baseline records the real n=50k numbers, gated at 10x)
+#   CHURN_MAX_RATIO    patched/replanned cost ceiling (default 1.05)
+#   CHURN_MAX_DRIFT    daemon reconcile threshold     (default 0.3)
+#   CHURN_RING         daemon replay ring size        (default 4096)
+#   CHURN_OUT          also copy the loadgen JSON here (default: discard)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${CHURN_DURATION:-10s}"
+N="${CHURN_N:-5000}"
+Q="${CHURN_Q:-8}"
+BATCH="${CHURN_BATCH:-8}"
+COLD_FRAC="${CHURN_COLD_FRAC:-0.02}"
+ADDR="${CHURN_ADDR:-localhost:18090}"
+MIN_SPEEDUP="${CHURN_MIN_SPEEDUP:-3}"
+MAX_RATIO="${CHURN_MAX_RATIO:-1.05}"
+MAX_DRIFT="${CHURN_MAX_DRIFT:-0.3}"
+RING="${CHURN_RING:-4096}"
+OUT="${CHURN_OUT:-}"
+
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
+
+go build -o "$bin/chargerd" ./cmd/chargerd
+go build -o "$bin/loadgen" ./cmd/loadgen
+
+"$bin/chargerd" -addr "$ADDR" -max-drift "$MAX_DRIFT" -session-ring "$RING" &
+daemon=$!
+trap 'kill "$daemon" 2>/dev/null || true; wait "$daemon" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+for i in $(seq 1 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if [ "$i" -eq 50 ]; then
+        echo "churn_smoke: chargerd did not come up on $ADDR" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+json="$bin/churn.json"
+"$bin/loadgen" -url "http://$ADDR" -churn -n "$N" -q "$Q" -d "$DURATION" \
+    -batch "$BATCH" -cold-frac "$COLD_FRAC" -strict \
+    -min-delta-speedup "$MIN_SPEEDUP" -max-cost-ratio "$MAX_RATIO" >"$json"
+
+if [ -n "$OUT" ]; then
+    cp "$json" "$OUT"
+    echo "churn_smoke: wrote $OUT" >&2
+fi
+echo "churn_smoke: OK" >&2
