@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint test race check-test bench-smoke bench-check serve-smoke churn-smoke profile check
+.PHONY: build vet lint lint-baseline test race check-test bench-smoke bench-check serve-smoke churn-smoke profile check
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis (internal/lint): determinism and
-# hot-path conventions that go vet has no opinion on.
+# Repo-specific static analysis (internal/lint): determinism,
+# concurrency-safety and allocation-discipline conventions that go vet
+# has no opinion on. Grandfathered findings live in lint_baseline.json;
+# only fresh findings fail.
 lint:
-	$(GO) run ./cmd/lint ./...
+	$(GO) run ./cmd/lint -baseline lint_baseline.json ./...
+
+# The full ratchet: additionally fails on stale baseline entries (a
+# fixed site still listed), keeping lint_baseline.json monotonically
+# shrinking. Regenerate with:
+#   go run ./cmd/lint -baseline lint_baseline.json -update-baseline ./...
+lint-baseline:
+	$(GO) run ./cmd/lint -baseline lint_baseline.json -stale ./...
 
 test:
 	$(GO) test ./...
@@ -54,4 +63,4 @@ profile:
 		-cpuprofile profiles/cpu.out -memprofile profiles/mem.out
 	@echo "profiles written; try: go tool pprof -top profiles/cpu.out"
 
-check: build vet lint race check-test bench-smoke
+check: build vet lint-baseline race check-test bench-smoke

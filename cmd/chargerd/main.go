@@ -82,7 +82,7 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv)}
 
 	done := make(chan error, 1)
-	go func() { done <- hs.ListenAndServe() }()
+	go func() { done <- hs.ListenAndServe() }() //lint:allow goroleak exits when the listener closes; main receives done
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 

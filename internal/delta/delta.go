@@ -355,6 +355,8 @@ func (st *State) liveCompact() ([]wsn.Sensor, []int) {
 // planLive computes a full plan of the live deployment and installs it,
 // resetting the drift accounting. It is the shared core of New, the
 // structural replan path, and Replan.
+//
+//lint:allow hotalloc rebuild-rate allocation (once per structural replan), not per-sensor
 func (st *State) planLive() error {
 	live, comp := st.liveCompact()
 	if len(live) == 0 {

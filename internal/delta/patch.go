@@ -35,7 +35,7 @@ func (d *dirtySet) reset(nk, q int) {
 	if len(d.stamp) != nk || (nk > 0 && len(d.stamp[0]) != q) {
 		d.stamp = make([][]int32, nk)
 		for k := range d.stamp {
-			d.stamp[k] = make([]int32, q)
+			d.stamp[k] = make([]int32, q) //lint:allow hotalloc watermark grow: runs only when the (nk, q) shape changes
 		}
 		return
 	}

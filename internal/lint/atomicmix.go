@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runAtomicmix flags mixed atomic/plain access to struct fields: a
+// field that any code reaches through a sync/atomic function
+// (atomic.AddInt64(&s.f, ...), atomic.LoadUint64(&s.f), ...) is part of
+// a lock-free protocol, and every plain read or write of it elsewhere
+// in the package is a data race — one the race detector only reports on
+// the schedules that happen to interleave, while this check catches the
+// pattern statically on all of them.
+//
+// The typed wrappers (atomic.Int64, atomic.Bool, ...) are immune by
+// construction — the raw word is unexported, so every access goes
+// through Load/Store/Add — which is why the serving metrics use them;
+// this check exists for the addressable-field style that keeps creeping
+// in with //go:generate-free counters. Intentional plain access
+// (pre-publication initialization, post-join reads) takes a
+// //lint:allow atomicmix annotation with the reason.
+func runAtomicmix(a *Analyzer, p *Package) []Finding {
+	files := a.files(p)
+	// Pass 1: collect fields whose address feeds a sync/atomic function,
+	// and the exact selector nodes sanctioned by appearing there.
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed-wrapper method: safe by construction
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldVar(p, sel); v != nil {
+					atomicFields[v] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other mention of those fields is a plain access.
+	var out []Finding
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			v := fieldVar(p, sel)
+			if v == nil || !atomicFields[v] || sanctioned[sel] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(sel.Pos()),
+				Check: a.Name,
+				Msg: "field " + v.Name() + " is accessed via sync/atomic elsewhere; this plain " +
+					"access races with it — use atomic.Load/Store (or the typed atomic wrappers), " +
+					"or annotate //lint:allow atomicmix <reason>",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// fieldVar resolves a selector to the struct field it denotes, or nil
+// for method selections, package-qualified names and unresolved nodes.
+func fieldVar(p *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := p.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The findings ratchet: lint_baseline.json records the grandfathered
+// findings that existed when an analyzer landed, so analyzers can ship
+// strict on day one. cmd/lint -baseline fails on any finding NOT in the
+// file (the ratchet never loosens), reports entries whose finding has
+// disappeared as stale (so a fixed site must also be removed from the
+// file — `make lint-baseline` turns that into a CI failure, keeping the
+// set monotonically shrinking), and -update-baseline rewrites the file.
+//
+// Matching deliberately ignores line numbers: lines drift with every
+// edit, and a ratchet that breaks on unrelated-line churn gets bypassed,
+// not maintained. A finding is identified by (file, check, message),
+// counted as a multiset — two identical findings in one file need two
+// entries. The line is recorded anyway, for the human reading the file.
+//
+// Suppression layering: //lint:allow directives and package policy run
+// first, inside RunWithPolicy; the baseline only ever sees what they let
+// through. A finding suppressed at the source therefore never consumes
+// its baseline entry — the entry goes stale and the ratchet demands its
+// removal, so the two mechanisms cannot silently double-cover one site.
+
+// BaselineEntry is one grandfathered finding.
+type BaselineEntry struct {
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Check string `json:"check"`
+	Msg   string `json:"msg"`
+}
+
+// String formats the entry like a finding, for stale-entry reports.
+func (e BaselineEntry) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", e.File, e.Line, e.Check, e.Msg)
+}
+
+// key is the matching identity: file + check + message, line excluded.
+func (e BaselineEntry) key() string { return e.File + "\x00" + e.Check + "\x00" + e.Msg }
+
+// Baseline is a loaded findings baseline.
+type Baseline struct {
+	Entries []BaselineEntry
+}
+
+// baselineFile is the on-disk shape; the comment field documents the
+// workflow inside the JSON itself (which has no comment syntax).
+type baselineFile struct {
+	Comment  []string        `json:"comment"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+var baselineComment = []string{
+	"Grandfathered lint findings (the ratchet floor).",
+	"cmd/lint -baseline <this file> fails on any finding not listed here,",
+	"and `make lint-baseline` fails when an entry is stale (site fixed but",
+	"still listed). Regenerate with:",
+	"  go run ./cmd/lint -baseline lint_baseline.json -update-baseline ./...",
+	"Entries match on (file, check, msg) as a multiset; lines are for humans.",
+}
+
+// ReadBaseline loads a baseline written by WriteBaseline.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	return &Baseline{Entries: bf.Findings}, nil
+}
+
+// WriteBaseline records findings (positions made root-relative) as the
+// new baseline at path, deterministically ordered.
+func WriteBaseline(path string, findings []Finding, root string) error {
+	entries := make([]BaselineEntry, len(findings))
+	for i, f := range findings {
+		entries[i] = toEntry(f, root)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	data, err := json.MarshalIndent(baselineFile{Comment: baselineComment, Findings: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// toEntry converts a finding to its baseline form: root-relative
+// slash-separated path, so baselines are portable across checkouts.
+func toEntry(f Finding, root string) BaselineEntry {
+	file := f.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return BaselineEntry{File: file, Line: f.Pos.Line, Check: f.Check, Msg: f.Msg}
+}
+
+// Filter splits findings into the fresh ones (not covered by the
+// baseline — these fail the ratchet) and reports the stale entries
+// (grandfathered findings that no longer occur — the site was fixed or
+// suppressed at the source, so the entry must be deleted). Matching is
+// a multiset over (file, check, msg): n entries cover at most n
+// identical findings.
+func (b *Baseline) Filter(findings []Finding, root string) (fresh []Finding, stale []BaselineEntry) {
+	budget := map[string]int{}
+	for _, e := range b.Entries {
+		budget[e.key()]++
+	}
+	for _, f := range findings {
+		k := toEntry(f, root).key()
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, e := range b.Entries {
+		if budget[e.key()] > 0 {
+			budget[e.key()]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

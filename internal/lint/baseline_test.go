@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func mkFinding(file string, line int, check, msg string) Finding {
+	return Finding{Pos: token.Position{Filename: file, Line: line}, Check: check, Msg: msg}
+}
+
+// TestBaselineFilter pins the matching semantics: (file, check, msg) as
+// a multiset with lines ignored — n entries cover at most n identical
+// findings, extras are fresh, unmatched entries are stale.
+func TestBaselineFilter(t *testing.T) {
+	root := string(filepath.Separator) + "repo"
+	abs := func(rel string) string { return filepath.Join(root, filepath.FromSlash(rel)) }
+	b := &Baseline{Entries: []BaselineEntry{
+		{File: "a/x.go", Line: 10, Check: "hotalloc", Msg: "boom"},
+		{File: "a/x.go", Line: 20, Check: "hotalloc", Msg: "boom"},
+		{File: "b/y.go", Line: 5, Check: "goroleak", Msg: "leak"},
+	}}
+	findings := []Finding{
+		// Same key as the first two entries, at drifted lines: both
+		// covered, the third identical one is fresh.
+		mkFinding(abs("a/x.go"), 11, "hotalloc", "boom"),
+		mkFinding(abs("a/x.go"), 99, "hotalloc", "boom"),
+		mkFinding(abs("a/x.go"), 100, "hotalloc", "boom"),
+		// Different msg: never covered.
+		mkFinding(abs("a/x.go"), 10, "hotalloc", "other"),
+	}
+	fresh, stale := b.Filter(findings, root)
+	wantFresh := []Finding{findings[2], findings[3]}
+	if !reflect.DeepEqual(fresh, wantFresh) {
+		t.Errorf("fresh = %v, want %v", fresh, wantFresh)
+	}
+	wantStale := []BaselineEntry{b.Entries[2]}
+	if !reflect.DeepEqual(stale, wantStale) {
+		t.Errorf("stale = %v, want %v", stale, wantStale)
+	}
+}
+
+// TestBaselineRoundtrip writes a baseline and reads it back: entries
+// must come out root-relative, slash-separated and deterministically
+// ordered regardless of input order.
+func TestBaselineRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	findings := []Finding{
+		mkFinding(filepath.Join(dir, "pkg", "b.go"), 7, "walltime", "clock"),
+		mkFinding(filepath.Join(dir, "pkg", "a.go"), 3, "hotalloc", "make"),
+		mkFinding(filepath.Join(dir, "pkg", "a.go"), 1, "hotalloc", "make"),
+	}
+	if err := WriteBaseline(path, findings, dir); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []BaselineEntry{
+		{File: "pkg/a.go", Line: 1, Check: "hotalloc", Msg: "make"},
+		{File: "pkg/a.go", Line: 3, Check: "hotalloc", Msg: "make"},
+		{File: "pkg/b.go", Line: 7, Check: "walltime", Msg: "clock"},
+	}
+	if !reflect.DeepEqual(b.Entries, want) {
+		t.Errorf("roundtrip = %v, want %v", b.Entries, want)
+	}
+	// The round-tripped baseline covers exactly the findings it was
+	// written from.
+	fresh, stale := b.Filter(findings, dir)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("self-filter: fresh=%v stale=%v, want none", fresh, stale)
+	}
+}
+
+// TestBaselineNotDoubleSuppress pins the layering contract between the
+// source-level directives and the ratchet: //lint:allow and
+// //lint:file-allow run first, so a finding suppressed at the source
+// never consumes its baseline entry — the entry turns stale and the
+// ratchet demands its deletion. The fileallow fixture is a whole file
+// of walltime violations under a file-wide grant; a baseline entry for
+// it must come back stale, not silently coexist.
+func TestBaselineNotDoubleSuppress(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("internal/lint/testdata/src/fileallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(pkgs, Analyzers())
+	if len(findings) != 0 {
+		t.Fatalf("fileallow fixture produced findings despite the file-wide grant: %v", findings)
+	}
+	entry := BaselineEntry{
+		File:  "internal/lint/testdata/src/fileallow/fileallow.go",
+		Line:  14,
+		Check: "walltime",
+		Msg:   "anything",
+	}
+	b := &Baseline{Entries: []BaselineEntry{entry}}
+	fresh, stale := b.Filter(findings, root)
+	if len(fresh) != 0 {
+		t.Errorf("fresh = %v, want none", fresh)
+	}
+	if len(stale) != 1 || !reflect.DeepEqual(stale[0], entry) {
+		t.Errorf("stale = %v, want exactly the source-suppressed entry", stale)
+	}
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runCtxflow guards context propagation through the request-handling
+// layers: a function that already carries a request context — a
+// context.Context parameter, or an *http.Request whose Context()
+// carries the deadline — must thread it, not fork a fresh root. Two
+// finding families:
+//
+//   - context.Background() / context.TODO() called anywhere a request
+//     context is lexically in scope (including inside closures): the
+//     fresh root silently discards the caller's deadline and
+//     cancellation, which is how a 30 s request budget turns into an
+//     unbounded one under load;
+//   - a named context.Context parameter the function body never uses:
+//     callers believe their deadline applies, but it is dropped on the
+//     floor at the first call.
+//
+// Deliberately detached work (audit tasks that must survive the
+// request) annotates the site with //lint:allow ctxflow <reason>.
+func runCtxflow(a *Analyzer, p *Package) []Finding {
+	var out []Finding
+	for _, f := range a.files(p) {
+		// Fresh roots under an in-scope request context: walk with a
+		// stack so closures see their enclosing function's parameters.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" ||
+				(fn.Name() != "Background" && fn.Name() != "TODO") {
+				return true
+			}
+			if !requestCtxInScope(p, stack) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(call.Pos()),
+				Check: a.Name,
+				Msg: "context." + fn.Name() + "() under an in-scope request context discards the " +
+					"caller's deadline and cancellation; thread the existing ctx " +
+					"(or annotate //lint:allow ctxflow <reason> for deliberately detached work)",
+			})
+			return true
+		})
+		// Dropped context parameters.
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			for _, name := range ctxParamNames(p, fd.Type) {
+				obj := p.Info.Defs[name]
+				if obj == nil || identUsed(p, fd.Body, obj) {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:   p.Fset.Position(name.Pos()),
+					Check: a.Name,
+					Msg: "context parameter " + name.Name + " is never used: the caller's deadline " +
+						"and cancellation are dropped — thread it into calls, or rename it _ " +
+						"if this signature is interface-imposed",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// requestCtxInScope reports whether any enclosing function on the stack
+// declares a context.Context or *http.Request parameter.
+func requestCtxInScope(p *Package, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			ft = fn.Type
+		case *ast.FuncDecl:
+			ft = fn.Type
+		default:
+			continue
+		}
+		for _, field := range ft.Params.List {
+			t := p.Info.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if isContextType(t) || isHTTPRequestPtr(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ctxParamNames returns the named (non-blank) context.Context parameter
+// identifiers of a signature.
+func ctxParamNames(p *Package, ft *ast.FuncType) []*ast.Ident {
+	var out []*ast.Ident
+	for _, field := range ft.Params.List {
+		t := p.Info.Types[field.Type].Type
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// identUsed reports whether obj is referenced anywhere under n.
+func identUsed(p *Package, n ast.Node, obj types.Object) bool {
+	used := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}

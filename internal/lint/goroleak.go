@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runGoroleak flags fire-and-forget goroutines in the concurrent layers:
+// a `go` statement must be tied to a lifecycle so that Close/shutdown
+// can wait for it and tests cannot leak work past their own scope. Three
+// ties are recognized:
+//
+//   - a sync.WaitGroup Add call earlier in the spawning function (the
+//     `wg.Add(1); go ...` idiom, with the Done inside the goroutine),
+//   - a WaitGroup Done call inside the goroutine body itself, or
+//   - a channel receive in the body — a stop/quit channel, a jobs
+//     channel drained until close, or <-ctx.Done().
+//
+// A goroutine with none of these outlives every synchronization point
+// the program has: Server.Close returns while it still runs, which is
+// exactly how the PR 4-7 serving layers would silently lose their
+// determinism and -race guarantees. Genuinely process-lifetime
+// goroutines carry a //lint:allow goroleak annotation with the reason.
+func runGoroleak(a *Analyzer, p *Package) []Finding {
+	var out []Finding
+	for _, f := range a.files(p) {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			gs, ok := n.(*ast.GoStmt)
+			if !ok || goroutineTied(p, gs, stack) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(gs.Pos()),
+				Check: a.Name,
+				Msg: "fire-and-forget goroutine: tie it to a lifecycle (WaitGroup Add/Done, " +
+					"stop-channel or ctx.Done receive) or annotate //lint:allow goroleak <reason>",
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// goroutineTied reports whether the go statement carries one of the
+// recognized lifecycle ties.
+func goroutineTied(p *Package, gs *ast.GoStmt, stack []ast.Node) bool {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok && bodyHasLifecycle(p, lit.Body) {
+		return true
+	}
+	return wgAddBefore(p, stack, gs.Pos())
+}
+
+// bodyHasLifecycle scans a goroutine body for a WaitGroup Done call or a
+// channel receive (which covers select-with-quit, drain-until-close and
+// <-ctx.Done()).
+func bodyHasLifecycle(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(p, n); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// wgAddBefore reports whether the innermost enclosing function contains
+// a sync.WaitGroup Add call positioned before pos — the spawn-side half
+// of the `wg.Add(1); go ...` idiom.
+func wgAddBefore(p *Package, stack []ast.Node, pos token.Pos) bool {
+	var body *ast.BlockStmt
+	for i := len(stack) - 2; i >= 0 && body == nil; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncLit:
+			body = fn.Body
+		case *ast.FuncDecl:
+			body = fn.Body
+		}
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil &&
+			fn.Pkg().Path() == "sync" && fn.Name() == "Add" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

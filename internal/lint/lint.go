@@ -1,5 +1,5 @@
 // Package lint is the repo-specific static-analysis suite guarding the
-// two conventions every hot path now depends on but the compiler cannot
+// conventions every hot path now depends on but the compiler cannot
 // enforce:
 //
 //   - Determinism. Figure sweeps must be bit-identical across worker
@@ -11,10 +11,23 @@
 //     and internal/core mandate the metric.Dense row fast path; calling
 //     the metric.Space.Dist interface inside a loop there reintroduces
 //     the per-distance dispatch PR 1 removed.
+//   - Concurrency safety. The serving/streaming layers (internal/serve,
+//     internal/delta, internal/obs, the cmd daemons) rely on goroutines
+//     tied to lifecycles (goroleak), critical sections free of channel
+//     ops and blocking calls (lockheld), fields never mixing atomic and
+//     plain access (atomicmix), and request contexts threaded instead of
+//     forked (ctxflow) — the invariant classes `go vet` has no opinion
+//     on and the race detector only sees on lucky schedules.
+//   - Allocation discipline. The arena-backed packages (internal/tsp,
+//     internal/rooted, internal/metric, internal/delta) must not allocate
+//     per loop iteration (hotalloc); churn there only shows up as GC
+//     pressure at n=1M, long after review.
 //
 // The suite is stdlib-only (go/ast + go/parser + go/types; no analysis
-// framework dependency) and is driven by cmd/lint. Intentional
-// exceptions are annotated in the source:
+// framework dependency) and is driven by cmd/lint, which also carries
+// the findings ratchet (see baseline.go): analyzers land strict, legacy
+// findings are grandfathered in lint_baseline.json and burned down
+// monotonically. Intentional exceptions are annotated in the source:
 //
 //	//lint:allow <check> <reason>
 //
@@ -208,6 +221,24 @@ func Analyzers() []*Analyzer {
 		"repro/internal/rooted",
 		"repro/internal/tsp",
 	}
+	// Concurrent layers: the packages whose goroutines, locks and
+	// contexts the PR 4-7 serving/streaming stack depends on.
+	conc := []string{
+		"repro/internal/serve",
+		"repro/internal/delta",
+		"repro/internal/obs",
+		"repro/cmd",
+	}
+	// Arena-disciplined scopes: the hot algorithm packages whose loops
+	// must allocate through Scratch/arena types (hotalloc); unlike `hot`
+	// this excludes internal/core, whose per-round driver loops are
+	// round-scoped, not per-sensor.
+	arena := []string{
+		"repro/internal/delta",
+		"repro/internal/metric",
+		"repro/internal/rooted",
+		"repro/internal/tsp",
+	}
 	return []*Analyzer{
 		{
 			Name:  "walltime",
@@ -238,6 +269,34 @@ func Analyzers() []*Analyzer {
 			Doc:   "no metric.Space.Dist interface calls inside loops in hot packages",
 			Scope: hot,
 			run:   runHotDist,
+		},
+		{
+			Name:  "goroleak",
+			Doc:   "no fire-and-forget goroutines: every go statement ties to a WaitGroup, stop channel or ctx",
+			Scope: conc,
+			run:   runGoroleak,
+		},
+		{
+			Name: "lockheld",
+			Doc:  "no channel ops, Submit or blocking I/O with a mutex held; no return missing its unlock",
+			run:  runLockheld,
+		},
+		{
+			Name: "atomicmix",
+			Doc:  "a field accessed via sync/atomic anywhere is never read or written plainly elsewhere",
+			run:  runAtomicmix,
+		},
+		{
+			Name:  "ctxflow",
+			Doc:   "no context.Background/TODO under an in-scope request ctx; ctx params must be threaded",
+			Scope: conc,
+			run:   runCtxflow,
+		},
+		{
+			Name:  "hotalloc",
+			Doc:   "no make/new/literal/fmt allocations inside loops in arena-disciplined hot packages",
+			Scope: arena,
+			run:   runHotalloc,
 		},
 	}
 }

@@ -25,8 +25,8 @@ func TestFixtureFindings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) < 5 {
-		t.Fatalf("loaded %d fixture packages, want at least 5", len(pkgs))
+	if len(pkgs) < 13 {
+		t.Fatalf("loaded %d fixture packages, want at least 13", len(pkgs))
 	}
 
 	got := map[string]bool{}

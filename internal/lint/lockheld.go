@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runLockheld guards critical sections of sync.Mutex/RWMutex: while a
+// lock is held, no goroutine may park on a channel operation or blocking
+// call, and no return may leave the lock behind. Two finding families:
+//
+//   - channel send/receive/select, Submit calls, WaitGroup Wait,
+//     time.Sleep and blocking I/O (net, net/http, os file ops, os/exec,
+//     io.ReadAll/Copy) inside a critical section — the shapes that turn
+//     a queue-full or slow-peer stall into a whole-server lockup, since
+//     every other path contending for the mutex parks behind the stalled
+//     holder;
+//   - a return statement inside a manually-unlocked critical section
+//     with no unlock on that path (the multi-return leak that
+//     `defer mu.Unlock()` exists to prevent).
+//
+// The analysis is lexical and per-function: a Lock whose unlock lives in
+// a different function (lock handoff) is out of model and takes a
+// //lint:allow lockheld annotation.
+func runLockheld(a *Analyzer, p *Package) []Finding {
+	var out []Finding
+	for _, f := range a.files(p) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				ls := &lockScan{a: a, p: p}
+				ls.block(body.List)
+				out = append(out, ls.out...)
+			}
+			// Nested func literals are scanned when Inspect reaches them;
+			// lockScan itself never crosses a function boundary.
+			return true
+		})
+	}
+	return out
+}
+
+type lockScan struct {
+	a   *Analyzer
+	p   *Package
+	out []Finding
+}
+
+func (ls *lockScan) flag(pos token.Pos, msg string) {
+	ls.out = append(ls.out, Finding{Pos: ls.p.Fset.Position(pos), Check: ls.a.Name, Msg: msg})
+}
+
+// block scans a statement list for Lock/RLock calls and walks each
+// ensuing critical section.
+func (ls *lockScan) block(stmts []ast.Stmt) {
+	for i := 0; i < len(stmts); i++ {
+		if m, unlock := ls.lockStmt(stmts[i]); m != "" {
+			i = ls.region(stmts, i+1, m, unlock)
+			continue
+		}
+		ls.nested(stmts[i])
+	}
+}
+
+// nested recurses into control-flow bodies looking for locks taken
+// there (outside any critical section of this block).
+func (ls *lockScan) nested(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		ls.block(st.List)
+	case *ast.IfStmt:
+		ls.block(st.Body.List)
+		if st.Else != nil {
+			ls.nested(st.Else)
+		}
+	case *ast.ForStmt:
+		ls.block(st.Body.List)
+	case *ast.RangeStmt:
+		ls.block(st.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.block(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.block(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				ls.block(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		ls.nested(st.Stmt)
+	}
+}
+
+// region walks the critical section opened at stmts[start-1]: m names
+// the mutex expression, unlock its releasing method. It returns the
+// index of the statement that closes the section (or the last index
+// when the section runs to the end of the block, e.g. under defer).
+func (ls *lockScan) region(stmts []ast.Stmt, start int, m, unlock string) int {
+	deferred := false
+	for j := start; j < len(stmts); j++ {
+		st := stmts[j]
+		if ls.isDeferUnlock(st, m, unlock) {
+			deferred = true
+			continue
+		}
+		if !deferred && ls.isUnlock(st, m, unlock) {
+			return j
+		}
+		ls.heldStmt(st, m, unlock, deferred)
+	}
+	return len(stmts) - 1
+}
+
+// heldStmt checks one statement executed with m held. deferred reports
+// that a defer-unlock covers every exit, making returns fine.
+func (ls *lockScan) heldStmt(st ast.Stmt, m, unlock string, deferred bool) {
+	switch st := st.(type) {
+	case *ast.ReturnStmt:
+		if !deferred {
+			ls.flag(st.Pos(), "return with "+m+" held and no unlock on this path; "+
+				"unlock before returning or use defer "+m+"."+unlock+"()")
+		}
+		for _, r := range st.Results {
+			ls.heldExpr(r, m)
+		}
+	case *ast.IfStmt:
+		ls.heldExpr(st.Cond, m)
+		ls.heldBranch(st.Body.List, m, unlock, deferred)
+		if st.Else != nil {
+			if blk, ok := st.Else.(*ast.BlockStmt); ok {
+				ls.heldBranch(blk.List, m, unlock, deferred)
+			} else {
+				ls.heldStmt(st.Else, m, unlock, deferred)
+			}
+		}
+	case *ast.ForStmt:
+		if st.Cond != nil {
+			ls.heldExpr(st.Cond, m)
+		}
+		ls.heldBranch(st.Body.List, m, unlock, deferred)
+	case *ast.RangeStmt:
+		if t := ls.p.Info.Types[st.X].Type; t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				ls.flag(st.Pos(), "channel-range receive while "+m+" is held blocks every path contending for it")
+			}
+		}
+		ls.heldExpr(st.X, m)
+		ls.heldBranch(st.Body.List, m, unlock, deferred)
+	case *ast.SelectStmt:
+		ls.flag(st.Pos(), "select (channel operation) while "+m+" is held blocks every path contending for it")
+	case *ast.SendStmt:
+		ls.flag(st.Pos(), "channel send while "+m+" is held blocks every path contending for it")
+	case *ast.SwitchStmt:
+		if st.Tag != nil {
+			ls.heldExpr(st.Tag, m)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.heldBranch(cc.Body, m, unlock, deferred)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.heldBranch(cc.Body, m, unlock, deferred)
+			}
+		}
+	case *ast.BlockStmt:
+		ls.heldBranch(st.List, m, unlock, deferred)
+	case *ast.LabeledStmt:
+		ls.heldStmt(st.Stmt, m, unlock, deferred)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred bodies run after the unlock; go statements only spawn.
+	default:
+		ls.heldExpr(st, m)
+	}
+}
+
+// heldBranch walks a nested statement list with m held on entry; an
+// unlock inside the branch clears the rest of that path.
+func (ls *lockScan) heldBranch(stmts []ast.Stmt, m, unlock string, deferred bool) {
+	for i, st := range stmts {
+		if ls.isUnlock(st, m, unlock) {
+			// The path below the unlock is lock-free; independent locks
+			// taken after it are handled by the plain block scan.
+			ls.block(stmts[i+1:])
+			return
+		}
+		ls.heldStmt(st, m, unlock, deferred)
+	}
+}
+
+// heldExpr flags channel receives and blocking calls inside an
+// expression (or expression statement) evaluated with m held. Func
+// literals are skipped: their bodies run later, not under the lock.
+func (ls *lockScan) heldExpr(n ast.Node, m string) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ls.flag(n.Pos(), "channel receive while "+m+" is held blocks every path contending for it")
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(ls.p, n); fn != nil && blockingCall(fn) {
+				ls.flag(n.Pos(), fn.Name()+" ("+blockingKind(fn)+") while "+m+" is held; "+
+					"move it outside the critical section or annotate //lint:allow lockheld <reason>")
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall reports whether fn can park the calling goroutine for an
+// unbounded time: pool submission, WaitGroup waits, sleeps, and I/O.
+func blockingCall(fn *types.Func) bool {
+	name := fn.Name()
+	if name == "Submit" {
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sync":
+		return name == "Wait"
+	case "time":
+		return name == "Sleep"
+	case "net", "net/http", "os/exec":
+		return true
+	case "os":
+		switch name {
+		case "Open", "OpenFile", "Create", "ReadFile", "WriteFile", "Pipe":
+			return true
+		}
+	case "io":
+		switch name {
+		case "ReadAll", "Copy", "CopyN", "ReadFull":
+			return true
+		}
+	}
+	return false
+}
+
+// blockingKind names the hazard class for the finding message.
+func blockingKind(fn *types.Func) string {
+	if fn.Name() == "Submit" {
+		return "worker-pool submission"
+	}
+	switch fn.Pkg().Path() {
+	case "sync":
+		return "WaitGroup wait"
+	case "time":
+		return "sleep"
+	default:
+		return "blocking I/O"
+	}
+}
+
+// lockStmt matches `m.Lock()` / `m.RLock()` expression statements on a
+// sync.Mutex/RWMutex and returns the receiver expression text plus the
+// matching unlock method name.
+func (ls *lockScan) lockStmt(st ast.Stmt) (m, unlock string) {
+	fn, recv := ls.syncMutexCall(st)
+	switch {
+	case fn == "Lock":
+		return recv, "Unlock"
+	case fn == "RLock":
+		return recv, "RUnlock"
+	}
+	return "", ""
+}
+
+// isUnlock matches the closing `m.Unlock()` / `m.RUnlock()` statement.
+func (ls *lockScan) isUnlock(st ast.Stmt, m, unlock string) bool {
+	fn, recv := ls.syncMutexCall(st)
+	return fn == unlock && recv == m
+}
+
+// isDeferUnlock matches `defer m.Unlock()` (or RUnlock).
+func (ls *lockScan) isDeferUnlock(st ast.Stmt, m, unlock string) bool {
+	def, ok := st.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	fn, recv := ls.mutexCall(def.Call)
+	return fn == unlock && recv == m
+}
+
+// syncMutexCall unwraps an expression statement holding a mutex method
+// call; returns ("", "") for anything else.
+func (ls *lockScan) syncMutexCall(st ast.Stmt) (name, recv string) {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return "", ""
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	return ls.mutexCall(call)
+}
+
+// mutexCall matches a call to a sync.Mutex/RWMutex locking method and
+// returns the method name plus the receiver expression text.
+func (ls *lockScan) mutexCall(call *ast.CallExpr) (name, recv string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := calleeFunc(ls.p, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return fn.Name(), types.ExprString(sel.X)
+	}
+	return "", ""
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersMeta is the suite's self-check: every registered
+// analyzer must carry a non-empty one-line Doc, a unique name, and a
+// fixture package under testdata/src/<name> containing at least one
+// want-marker for that check — so a new analyzer cannot land without
+// the documentation and the regression fixture that keep it honest.
+func TestAnalyzersMeta(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" {
+			t.Fatal("analyzer with empty Name")
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer %s registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.TrimSpace(a.Doc) == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		if strings.Contains(a.Doc, "\n") {
+			t.Errorf("analyzer %s Doc is not one line (it feeds -list output)", a.Name)
+		}
+		dir := filepath.Join(root, "internal", "lint", "testdata", "src", a.Name)
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			t.Errorf("analyzer %s has no fixture package at %s", a.Name, dir)
+			continue
+		}
+		if !dirHasWantMarker(t, dir, a.Name) {
+			t.Errorf("analyzer %s fixture has no \"// want:%s\" marker — it cannot prove the check fires", a.Name, a.Name)
+		}
+	}
+}
+
+// TestListOutput runs the real driver's -list mode and requires every
+// registered analyzer to appear, pinning cmd/lint and lint.Analyzers()
+// together.
+func TestListOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec's the go toolchain")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/lint", "-list")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./cmd/lint -list: %v\n%s", err, out)
+	}
+	for _, a := range Analyzers() {
+		found := false
+		for _, line := range strings.Split(string(out), "\n") {
+			if strings.HasPrefix(line, a.Name+" ") || strings.HasPrefix(line, a.Name+"\t") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("analyzer %s missing from cmd/lint -list output:\n%s", a.Name, out)
+		}
+	}
+}
+
+// dirHasWantMarker reports whether any .go file under dir carries a
+// "// want:<check>" marker.
+func dirHasWantMarker(t *testing.T, dir, check string) bool {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if _, rest, ok := strings.Cut(sc.Text(), "// want:"); ok {
+				name, _, _ := strings.Cut(rest, " ")
+				if name == check {
+					f.Close()
+					return true
+				}
+			}
+		}
+		f.Close()
+	}
+	return false
+}

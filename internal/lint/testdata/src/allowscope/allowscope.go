@@ -1,0 +1,29 @@
+// Package allowscope seeds the allow-directive scope edge cases: a
+// doc-comment directive must cover the function's entire span including
+// nested closures, while an identically-shaped function without the
+// directive still fires at every site.
+package allowscope
+
+import "time"
+
+// Covered measures wall time throughout, including inside the nested
+// closure; the doc-comment directive suppresses the whole span.
+//
+//lint:allow walltime fixture: diagnostic timing helper
+func Covered() float64 {
+	t0 := time.Now()
+	f := func() float64 {
+		return time.Since(t0).Seconds()
+	}
+	return f()
+}
+
+// Uncovered is the identical shape without the directive: both the
+// direct read and the one inside the closure must fire.
+func Uncovered() float64 {
+	t0 := time.Now() // want:walltime
+	f := func() float64 {
+		return time.Since(t0).Seconds() // want:walltime
+	}
+	return f()
+}

@@ -1,0 +1,51 @@
+// Package atomicmix seeds the atomicmix analyzer fixture: a counter
+// addressed through sync/atomic and then read and written plainly, plus
+// the typed-wrapper, untouched-field and annotated styles that must
+// stay silent.
+package atomicmix
+
+import "sync/atomic"
+
+// Counters mixes an atomic-addressed field (hits) with plain access;
+// total uses the typed wrapper (immune by construction) and cold never
+// goes through sync/atomic at all.
+type Counters struct {
+	hits  int64
+	cold  int64
+	total atomic.Int64
+}
+
+// Bump is the sanctioned atomic write that marks hits as part of a
+// lock-free protocol.
+func (c *Counters) Bump() {
+	atomic.AddInt64(&c.hits, 1)
+	c.total.Add(1)
+}
+
+// Read is the sanctioned atomic read.
+func (c *Counters) Read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Snapshot reads hits plainly — a race with Bump on every schedule that
+// interleaves them.
+func (c *Counters) Snapshot() int64 {
+	return c.hits // want:atomicmix
+}
+
+// Reset writes hits plainly — the same race on the store side.
+func (c *Counters) Reset() {
+	c.hits = 0 // want:atomicmix
+}
+
+// Cold never goes through sync/atomic; plain access is fine.
+func (c *Counters) Cold() int64 {
+	c.cold++
+	return c.cold
+}
+
+// Seed initializes hits before the struct is published; the plain write
+// is safe here and annotated as such.
+func Seed(c *Counters, v int64) {
+	c.hits = v //lint:allow atomicmix fixture: pre-publication init
+}

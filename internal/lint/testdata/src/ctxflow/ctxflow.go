@@ -1,0 +1,74 @@
+// Package ctxflow seeds the ctxflow analyzer fixture: fresh context
+// roots forked under request contexts (including inside closures),
+// dropped ctx parameters, and the threaded, root-level and annotated
+// forms that must stay silent.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// ping stands in for any ctx-aware downstream call.
+func ping(ctx context.Context) error { return ctx.Err() }
+
+// Fork has the request ctx in hand and forks a fresh root anyway,
+// discarding the caller's deadline.
+func Fork(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return ping(context.Background()) // want:ctxflow
+}
+
+// ForkInClosure forks inside a closure that lexically sees the request
+// ctx.
+func ForkInClosure(ctx context.Context) func() error {
+	deadline := ctx.Err
+	return func() error {
+		if err := deadline(); err != nil {
+			return err
+		}
+		return ping(context.TODO()) // want:ctxflow
+	}
+}
+
+// Handler forks under the request's own context (r.Context() is the
+// in-scope request ctx here).
+func Handler(w http.ResponseWriter, r *http.Request) {
+	if err := ping(context.Background()); err != nil { // want:ctxflow
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Dropped declares a ctx it never threads: the caller's deadline is
+// silently discarded at the first call.
+func Dropped(ctx context.Context, n int) int { // want:ctxflow
+	return n * 2
+}
+
+// Threaded is the correct form: the caller's ctx flows through.
+func Threaded(ctx context.Context) error {
+	return ping(ctx)
+}
+
+// FromRequest threads the request's own context.
+func FromRequest(w http.ResponseWriter, r *http.Request) {
+	if err := ping(r.Context()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Root is a main-style entry with no request context in scope; a fresh
+// root is correct here.
+func Root() error {
+	return ping(context.Background())
+}
+
+// Detached deliberately outlives the request and is annotated.
+func Detached(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return ping(context.Background()) //lint:allow ctxflow fixture: audit task survives the request
+}

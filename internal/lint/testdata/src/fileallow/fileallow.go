@@ -1,0 +1,20 @@
+// Package fileallow seeds the file-wide directive: every walltime
+// finding in this file is suppressed at the source, so no want markers
+// exist here and no baseline entry may cover it either — a baseline
+// entry for an already-suppressed finding is stale by construction (the
+// no-double-suppress property pinned by baseline_test.go).
+//
+//lint:file-allow walltime fixture: timing-only diagnostics file
+package fileallow
+
+import "time"
+
+// Elapsed reads the wall clock freely under the file-wide grant.
+func Elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds()
+}
+
+// Stamp also stays silent.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

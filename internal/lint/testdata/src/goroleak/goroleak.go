@@ -1,0 +1,76 @@
+// Package goroleak seeds the goroleak analyzer fixture: fire-and-forget
+// goroutines that must be flagged, one example of each recognized
+// lifecycle tie that must stay silent, and an annotated
+// process-lifetime goroutine.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// Leak spawns a goroutine nothing can wait for: no WaitGroup, no stop
+// channel, no ctx — Close returns while it still runs.
+func Leak(jobs chan int) {
+	go func() { // want:goroleak
+		jobs <- 1
+	}()
+}
+
+// LeakNamed spawns a named function with no tie in scope.
+func LeakNamed() {
+	go work() // want:goroleak
+}
+
+func work() {}
+
+// TiedAdd uses the wg.Add-before-go idiom with the Done in the body.
+func TiedAdd(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// TiedDone carries only the Done; the Add lives at the caller.
+func TiedDone(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// TiedQuit parks on a stop channel alongside its work.
+func TiedQuit(jobs chan int, quit chan struct{}) {
+	go func() {
+		select {
+		case jobs <- 1:
+		case <-quit:
+		}
+	}()
+}
+
+// TiedCtx waits on the context's cancellation.
+func TiedCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// TiedDrain runs until the jobs channel is closed.
+func TiedDrain(jobs chan int) {
+	go func() {
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+// Allowed is process-lifetime by design; the directive silences it.
+func Allowed(errs chan error) {
+	//lint:allow goroleak fixture: process-lifetime listener
+	go func() {
+		errs <- nil
+	}()
+}

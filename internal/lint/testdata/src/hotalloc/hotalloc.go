@@ -1,0 +1,79 @@
+// Package hotalloc seeds the hotalloc analyzer fixture: per-iteration
+// allocations inside loops, the hoisted and arena-plumbing forms that
+// must stay silent, and an annotated cold path.
+package hotalloc
+
+import "fmt"
+
+// Scratch is the fixture's arena: its methods exist to allocate (once,
+// at the watermark), so they are exempt.
+type Scratch struct {
+	buf []float64
+}
+
+// grow doubles the backing store — allocation is this method's job.
+func (s *Scratch) grow(n int) {
+	for cap(s.buf) < n {
+		s.buf = make([]float64, n, 2*n)
+	}
+}
+
+// ensureRows is a grow-family helper; its loop allocation is exempt by
+// name.
+func ensureRows(rows [][]float64, n int) [][]float64 {
+	for len(rows) < n {
+		rows = append(rows, make([]float64, 8))
+	}
+	return rows
+}
+
+// MakePerIter allocates a fresh buffer every iteration — the exact
+// churn Scratch exists to absorb. The hoisted make above the loop is
+// fine.
+func MakePerIter(rows [][]float64) []float64 {
+	out := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		tmp := make([]float64, len(r)) // want:hotalloc
+		copy(tmp, r)
+		out = append(out, tmp...)
+	}
+	return out
+}
+
+// LiteralPerIter builds a slice literal every iteration.
+func LiteralPerIter(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		pair := []int{i, i + 1} // want:hotalloc
+		total += pair[0] + pair[1]
+	}
+	return total
+}
+
+// SprintfPerIter formats inside the loop — string building plus
+// interface boxing per element.
+func SprintfPerIter(names []string) int {
+	total := 0
+	for _, n := range names {
+		total += len(fmt.Sprintf("n=%s", n)) // want:hotalloc
+	}
+	return total
+}
+
+// ColdPath allocates per iteration on an annotated cold path.
+func ColdPath(n int) [][]int {
+	var out [][]int
+	for i := 0; i < n; i++ {
+		out = append(out, []int{i}) //lint:allow hotalloc fixture: cold diagnostic path
+	}
+	return out
+}
+
+// UseScratch drives the arena types so they are compiled and so the
+// helpers above are reachable.
+func UseScratch(n int) int {
+	var s Scratch
+	s.grow(n)
+	rows := ensureRows(nil, n)
+	return len(s.buf) + len(rows)
+}

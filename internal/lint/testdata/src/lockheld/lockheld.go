@@ -1,0 +1,106 @@
+// Package lockheld seeds the lockheld analyzer fixture: channel
+// operations, blocking calls and leaked returns inside critical
+// sections, plus the clean and annotated sections that must stay
+// silent.
+package lockheld
+
+import "sync"
+
+// Pool mimics the serve worker pool's submission surface; Submit parks
+// until a worker frees up, which is exactly why it must not run under a
+// lock.
+type Pool struct{}
+
+// Submit stands in for the real pool's blocking enqueue.
+func (Pool) Submit(f func()) { f() }
+
+// State is the guarded structure under test.
+type State struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	n    int
+	jobs chan int
+}
+
+func (s *State) bump() { s.n++ }
+
+// SendHeld parks on a channel send with the lock held.
+func (s *State) SendHeld(v int) {
+	s.mu.Lock()
+	s.jobs <- v // want:lockheld
+	s.mu.Unlock()
+}
+
+// RecvHeld parks on a receive with the lock held (under defer-unlock,
+// so the return itself is fine — the receive is not).
+func (s *State) RecvHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.jobs // want:lockheld
+}
+
+// SelectHeld parks in a select with the read lock held.
+func (s *State) SelectHeld() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select { // want:lockheld
+	case v := <-s.jobs:
+		s.n = v
+	default:
+	}
+}
+
+// LeakedReturn exits the early path without releasing the lock.
+func (s *State) LeakedReturn(v int) bool {
+	s.mu.Lock()
+	if v < 0 {
+		return false // want:lockheld
+	}
+	s.n = v
+	s.mu.Unlock()
+	return true
+}
+
+// SubmitHeld enqueues on the pool with the lock held.
+func (s *State) SubmitHeld(p Pool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.Submit(func() { s.bump() }) // want:lockheld
+}
+
+// WaitHeld blocks on a WaitGroup with the lock held.
+func (s *State) WaitHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want:lockheld
+	s.mu.Unlock()
+}
+
+// CleanHeld is a well-formed critical section: compute only, and the
+// channel op happens after the manual unlock.
+func (s *State) CleanHeld(v int) {
+	s.mu.Lock()
+	s.n += v
+	s.mu.Unlock()
+	s.jobs <- v
+}
+
+// BranchUnlock releases on the early path before returning — both exits
+// are clean.
+func (s *State) BranchUnlock(v int) bool {
+	s.mu.Lock()
+	if v < 0 {
+		s.mu.Unlock()
+		return false
+	}
+	s.n = v
+	s.mu.Unlock()
+	return true
+}
+
+// AllowedHandoff sends under the lock by protocol design; the directive
+// silences it.
+func (s *State) AllowedHandoff() {
+	s.mu.Lock()
+	s.jobs <- s.n //lint:allow lockheld fixture: handoff protocol, receiver never blocks
+	s.mu.Unlock()
+}
