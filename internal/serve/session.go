@@ -444,7 +444,12 @@ func (sh *sessionShard) startReconcile(sess *session) {
 	sess.replanning = true
 	snap := sess.st.Snapshot()
 	id := sess.id
+	// Registering with ss.wg is safe against a concurrent Close: this
+	// runs on the shard goroutine, which holds its own wg count until it
+	// exits, so the counter cannot have reached zero yet.
+	sh.ss.wg.Add(1)
 	go func() {
+		defer sh.ss.wg.Done()
 		st, err := delta.PlanSnapshot(snap, nil)
 		job := func() { sh.finishReconcile(id, st, err) }
 		select {

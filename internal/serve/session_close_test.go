@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/delta"
+	"repro/internal/experiment"
+)
+
+// TestCloseWaitsForBackgroundReconcile pins the shutdown contract of
+// the asynchronous reconciliation path: Server.Close must not return
+// while a background delta.PlanSnapshot replan is still running.
+//
+// Regression test for a goroleak-review finding: the reconcile
+// goroutine selected on the shard quit channel — so it could not block
+// forever — but never registered with the session WaitGroup, so
+// Sessions.Close could return with the replan still executing and the
+// caller free to tear down state it was reading.
+func TestCloseWaitsForBackgroundReconcile(t *testing.T) {
+	net := testNetwork(t, 120, 3, 61)
+	s := newSessionServer(t, Config{Workers: 2, Sessions: SessionConfig{MaxDrift: 1e-9, Queue: 256}})
+	info, err := s.Sessions().Create(NewRequest(net, experiment.AlgoMTD, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxDrift ~0 makes every delta trip reconciliation, so with several
+	// deltas in quick succession a background replan is essentially
+	// always in flight when Close runs.
+	for i := 0; i < 8; i++ {
+		if _, err := s.Sessions().Delta(info.ID, []delta.Op{
+			{Kind: delta.OpJoin, X: float64(20 + i*31%960), Y: float64(15 + i*47%960), Cycle: info.Tau1 * 2.5},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// After Close, no goroutine may still be inside the snapshot replan.
+	// Scan for a while rather than once: pre-fix, the leaked goroutine
+	// keeps running well past Close and any sample catches it.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for {
+		buf := make([]byte, 1<<20)
+		stacks := string(buf[:runtime.Stack(buf, true)])
+		if strings.Contains(stacks, "delta.PlanSnapshot") {
+			t.Fatalf("Server.Close returned with a background reconcile replan still running:\n%s", stacks)
+		}
+		if time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
