@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet lint lint-baseline test race check-test bench-smoke bench-check serve-smoke churn-smoke profile check
+.PHONY: build vet lint lint-baseline test race check-test bench-smoke bench-check serve-smoke churn-smoke robust-smoke profile check
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,13 @@ serve-smoke:
 # latency, patched-vs-fresh cost, and charging-gap feasibility.
 churn-smoke:
 	scripts/churn_smoke.sh
+
+# Tiny Monte-Carlo disturbance sweep under -race: the slack-aware plan
+# with re-dispatch must lose zero sensors at ε=0.1 on the smoke
+# topology. The committed ROBUST_pr9.json baseline holds the full-size
+# reduction/inflation gates.
+robust-smoke:
+	scripts/robust_smoke.sh
 
 # Profile one figure sweep (default fig5; override with PROFILE_FIG=6).
 # Inspect with `go tool pprof profiles/cpu.out` (or mem.out).

@@ -8,6 +8,8 @@
 //	chargersim -algo mtd    -n 200 -T 1000          # MinTotalDistance
 //	chargersim -algo greedy -n 200 -T 1000          # greedy baseline
 //	chargersim -algo var    -n 200 -T 1000 -dt 10   # variable cycles
+//	chargersim -algo mtd -n 150 -T 240 -taumin 4 -disturb 0.5 -eps 0.1
+//	                                                # robustness check
 package main
 
 import (
@@ -35,6 +37,9 @@ func main() {
 		speed   = flag.Float64("speed", 0, "charger speed (m per time unit); >0 checks the paper's time-scale assumption")
 		mapOut  = flag.String("map", "", "write an SVG deployment map with one full charging round to this file")
 		verbose = flag.Bool("v", false, "print per-round details")
+		disturb = flag.Float64("disturb", 0, "disturbance intensity for a robustness check of the mtd plan (0 = off)")
+		eps     = flag.Float64("eps", 0.1, "planning slack ε for the robust variant (with -disturb)")
+		ddt     = flag.Float64("ddt", 0.5, "decision granularity of the disturbed replay (with -disturb)")
 	)
 	flag.Parse()
 
@@ -93,6 +98,11 @@ func main() {
 				fmt.Printf("  D_%d: cost=%.1f (forest lower bound %.1f)\n", k, sol.Cost(), sol.ForestWeight)
 			}
 		}
+		if *disturb > 0 {
+			if err := reportDisturbed(net, r, opt, *T, *disturb, *eps, *ddt, *speed); err != nil {
+				fatal("%v", err)
+			}
+		}
 	case "greedy":
 		res, err := repro.RunGreedyFixed(net, *T, *tauMin, opt)
 		if err != nil {
@@ -143,6 +153,54 @@ func report(name string, res repro.SimResult, verbose bool) {
 			}
 		}
 	}
+}
+
+// reportDisturbed replays the MinTotalDistance plan inside the standard
+// stochastic world at the given intensity — open-loop first, then the
+// slack-aware plan under the re-dispatch policy — and prints how each
+// held up.
+func reportDisturbed(net *repro.Network, r *repro.Rand, opt repro.TourOptions, T, intensity, eps, ddt, speed float64) error {
+	if speed <= 0 {
+		speed = 25000
+	}
+	model := repro.NewFixedModel(net)
+	cfg := repro.SimConfig{T: T, Dt: ddt}
+	// The same disturbance seed for both runs: they face identical
+	// breakdown windows, drift walks and telemetry losses.
+	seed := r.Split(3)
+	mkWorld := func() repro.DisturbedConfig {
+		return repro.DisturbedConfig{
+			Model: repro.StandardDisturbance(seed, intensity, repro.DefaultDisturbParams()),
+			Speed: speed,
+		}
+	}
+	run := func(slack float64, wrap bool) (repro.SimResult, error) {
+		plan, err := repro.PlanFixed(net, T, repro.FixedOptions{Rooted: opt, Slack: slack, AlignTau1: ddt})
+		if err != nil {
+			return repro.SimResult{}, err
+		}
+		var policy repro.Policy = &repro.ReplayPolicy{Schedule: plan.Schedule}
+		if wrap {
+			policy = &repro.RedispatchPolicy{Inner: policy.(*repro.ReplayPolicy)}
+		}
+		return repro.SimulateDisturbed(net, model, policy, cfg, mkWorld())
+	}
+	base, err := run(0, false)
+	if err != nil {
+		return err
+	}
+	robust, err := run(eps, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("robustness @ intensity %.2g (speed %.0f m/unit, ε=%.2g):\n", intensity, speed, eps)
+	line := func(name string, res repro.SimResult) {
+		fmt.Printf("  %-22s gap violations=%-4d near misses=%-4d deaths=%-3d max gap ratio=%.2f driven=%.1f m\n",
+			name, res.GapViolations, res.NearMisses, res.Deaths, res.MaxGapRatio, res.DrivenCost)
+	}
+	line("replayed (open-loop):", base)
+	line("slacked + re-dispatch:", robust)
+	return nil
 }
 
 func indent(s string) string {

@@ -1,0 +1,430 @@
+// Command robust is the Monte-Carlo robustness harness: it sweeps
+// disturbance intensity × slack ε over randomly deployed networks and
+// measures how the paper's undisturbed-optimal plan degrades when the
+// world misbehaves — versus the slack-aware plan with re-dispatch.
+//
+// For every (intensity, repetition) cell the harness builds one
+// topology, realizes one disturbance (seeded; shared by every policy in
+// the cell so they face the same breakdowns, drift and telemetry), and
+// runs
+//
+//   - the baseline: MinTotalDistance planned against the nominal cycles
+//     and replayed open-loop (sim.ScheduleReplay), and
+//   - for each ε: the robust variant — MinTotalDistance planned against
+//     τ_i·(1−ε) and executed closed-loop (sim.Redispatch) with
+//     breakdown re-rooting, stranded-sensor recovery and
+//     deadline-pressure rescues.
+//
+// It reports P(gap > τ_i) (gap violations per closed gap), sensor
+// deaths, and cost inflation as a benchfmt-style JSON document, and can
+// gate (non-zero exit) on a minimum violation-reduction factor, a
+// maximum cost inflation, and a maximum robust death count — the CI
+// smoke runs exactly that. Identical seeds produce byte-identical JSON
+// regardless of -workers.
+//
+// Example:
+//
+//	robust -n 150 -q 5 -T 120 -dt 0.2 -reps 8 -intensities 0.5,1,2 -eps 0.1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/disturb"
+	"repro/internal/energy"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/wsn"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 150, "number of sensors")
+		q        = flag.Int("q", 5, "number of mobile chargers")
+		T        = flag.Float64("T", 120, "monitoring period")
+		tauMin   = flag.Float64("taumin", 4, "minimum charging cycle")
+		tauMax   = flag.Float64("taumax", 40, "maximum charging cycle")
+		sigma    = flag.Float64("sigma", 1, "linear-distribution variance")
+		dt       = flag.Float64("dt", 0.2, "decision granularity")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		speed    = flag.Float64("speed", 25000, "charger speed (m per time unit)")
+		intenStr = flag.String("intensities", "0.5,1,2", "comma-separated disturbance intensities")
+		epsStr   = flag.String("eps", "0.1", "comma-separated slack values ε")
+		reps     = flag.Int("reps", 8, "Monte-Carlo repetitions per cell")
+		workers  = flag.Int("workers", 4, "parallel cell workers (output is identical for any value)")
+		label    = flag.String("label", "robust", "baseline label stamped into the JSON")
+		outPath  = flag.String("o", "", "output file (default stdout)")
+		gate     = flag.Float64("gate", 0, "fail unless every gated intensity's violation-reduction factor is at least this (0 disables)")
+		maxInfl  = flag.Float64("maxinflation", 0, "fail if a gated robust row's cost inflation exceeds this (0 disables)")
+		maxDeath = flag.Int("maxdeaths", -1, "fail if gated robust rows accumulate more than this many deaths (-1 disables)")
+		gateAt   = flag.Float64("gateintensity", 0, "apply the gates only at this intensity; 0 gates every swept intensity")
+	)
+	flag.Parse()
+
+	intensities, err := parseFloats(*intenStr)
+	if err != nil {
+		fatal("bad -intensities: %v", err)
+	}
+	epsList, err := parseFloats(*epsStr)
+	if err != nil {
+		fatal("bad -eps: %v", err)
+	}
+	if len(intensities) == 0 || len(epsList) == 0 || *reps < 1 {
+		fatal("need at least one intensity, one eps and one rep")
+	}
+	if *workers < 1 {
+		*workers = 1
+	}
+
+	cfg := sweepConfig{
+		N: *n, Q: *q, T: *T, TauMin: *tauMin, TauMax: *tauMax, Sigma: *sigma,
+		Dt: *dt, Seed: *seed, Speed: *speed, Reps: *reps,
+		Intensities: intensities, Eps: epsList,
+	}
+	file, err := runSweep(cfg, *workers, *label)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(file); err != nil {
+		fatal("writing JSON: %v", err)
+	}
+
+	failed := false
+	for _, g := range file.Gates {
+		if *gateAt > 0 && g.Intensity != *gateAt { //lint:allow floateq comparing a flag value against itself
+			continue
+		}
+		if *gate > 0 && g.ReductionFactor < *gate {
+			fmt.Fprintf(os.Stderr, "robust: GATE intensity=%g eps=%g: violation reduction %.2fx < required %.2fx\n",
+				g.Intensity, g.Eps, g.ReductionFactor, *gate)
+			failed = true
+		}
+		if *maxInfl > 0 && g.CostInflation > *maxInfl {
+			fmt.Fprintf(os.Stderr, "robust: GATE intensity=%g eps=%g: cost inflation %.3f > allowed %.3f\n",
+				g.Intensity, g.Eps, g.CostInflation, *maxInfl)
+			failed = true
+		}
+		if *maxDeath >= 0 && g.RobustDeaths > *maxDeath {
+			fmt.Fprintf(os.Stderr, "robust: GATE intensity=%g eps=%g: %d robust deaths > allowed %d\n",
+				g.Intensity, g.Eps, g.RobustDeaths, *maxDeath)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// sweepConfig carries every sweep parameter; it is stamped verbatim
+// into the JSON header so artifacts are self-describing.
+type sweepConfig struct {
+	N           int       `json:"n"`
+	Q           int       `json:"q"`
+	T           float64   `json:"T"`
+	TauMin      float64   `json:"tau_min"`
+	TauMax      float64   `json:"tau_max"`
+	Sigma       float64   `json:"sigma"`
+	Dt          float64   `json:"dt"`
+	Seed        uint64    `json:"seed"`
+	Speed       float64   `json:"speed"`
+	Reps        int       `json:"reps"`
+	Intensities []float64 `json:"intensities"`
+	Eps         []float64 `json:"eps"`
+}
+
+// row aggregates one (intensity, policy, eps) sweep cell across reps.
+type row struct {
+	Intensity float64 `json:"intensity"`
+	Policy    string  `json:"policy"`
+	Eps       float64 `json:"eps"`
+	Reps      int     `json:"reps"`
+	// GapViolations / Gaps is P(gap > τ_i); Gaps counts every closed
+	// gap (charges plus one terminal gap per sensor).
+	GapViolations int     `json:"gap_violations"`
+	Gaps          int     `json:"gaps"`
+	PViolation    float64 `json:"p_violation"`
+	NearMisses    int     `json:"near_misses"`
+	MaxGapRatio   float64 `json:"max_gap_ratio"`
+	Deaths        int     `json:"deaths"`
+	Requeued      int     `json:"requeued"`
+	Interrupted   int     `json:"interrupted_sorties"`
+	DroppedTours  int     `json:"dropped_tours"`
+	TelemetryLost int     `json:"telemetry_lost"`
+	TelemetryLate int     `json:"telemetry_late"`
+	// Rescued counts sensors served by dedicated rescue sorties;
+	// Inserted counts top-ups folded into scheduled tours by cheapest
+	// insertion (redispatch rows only).
+	Rescued  int `json:"rescued"`
+	Inserted int `json:"inserted"`
+	// MeanPlannedCost is the dispatched schedule's nominal cost per
+	// rep; MeanDrivenCost is the distance actually driven.
+	MeanPlannedCost float64 `json:"mean_planned_cost"`
+	MeanDrivenCost  float64 `json:"mean_driven_cost"`
+}
+
+// gateRow is the acceptance comparison of one robust cell against its
+// same-intensity baseline.
+type gateRow struct {
+	Intensity float64 `json:"intensity"`
+	Eps       float64 `json:"eps"`
+	// PBaseline and PRobust are the two violation probabilities; the
+	// reduction factor divides them, flooring robust violations at 0.5
+	// events so a perfect robust run stays finite (documented in
+	// DESIGN.md §16).
+	PBaseline       float64 `json:"p_baseline"`
+	PRobust         float64 `json:"p_robust"`
+	ReductionFactor float64 `json:"reduction_factor"`
+	// CostInflation is mean robust driven cost over mean baseline
+	// planned cost, minus 1.
+	CostInflation float64 `json:"cost_inflation"`
+	RobustDeaths  int     `json:"robust_deaths"`
+}
+
+// outFile is the benchfmt-style artifact: schema + label header,
+// parameters, per-cell rows, gate comparisons and the obs counter dump.
+type outFile struct {
+	SchemaVersion int         `json:"schema_version"`
+	Label         string      `json:"label"`
+	Config        sweepConfig `json:"config"`
+	Rows          []row       `json:"results"`
+	Gates         []gateRow   `json:"gates"`
+	// Counters is the deterministic text exposition of the run's
+	// internal/obs robustness counters, split into lines.
+	Counters []string `json:"counters"`
+}
+
+// cellResult is one simulated run's contribution to a row.
+type cellResult struct {
+	res      sim.Result
+	planned  float64
+	rescued  int
+	inserted int
+	err      error
+}
+
+func runSweep(cfg sweepConfig, workers int, label string) (*outFile, error) {
+	root := rng.New(cfg.Seed)
+	reg := obs.NewRegistry()
+
+	// One job per (intensity, rep): it runs the baseline replay plus
+	// every ε's robust variant against the same disturbance
+	// realization, writing into its own result slots — worker count
+	// cannot change the output (obs counters are commutative).
+	type jobOut struct {
+		base   cellResult
+		robust []cellResult // indexed like cfg.Eps
+	}
+	nJobs := len(cfg.Intensities) * cfg.Reps
+	outs := make([]jobOut, nJobs)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				xi, rep := j/cfg.Reps, j%cfg.Reps
+				outs[j] = jobOut{robust: make([]cellResult, len(cfg.Eps))}
+				runCell(cfg, root, xi, rep, reg, &outs[j].base, outs[j].robust)
+			}
+		}()
+	}
+	for j := 0; j < nJobs; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+
+	file := &outFile{SchemaVersion: 2, Label: label, Config: cfg}
+	for xi, x := range cfg.Intensities {
+		var base row
+		base.Intensity, base.Policy, base.Eps = x, "replay", 0
+		for rep := 0; rep < cfg.Reps; rep++ {
+			c := &outs[xi*cfg.Reps+rep].base
+			if c.err != nil {
+				return nil, fmt.Errorf("intensity %g rep %d baseline: %w", x, rep, c.err)
+			}
+			accumulate(&base, c, cfg.N)
+		}
+		finish(&base, cfg.Reps)
+		file.Rows = append(file.Rows, base)
+		for ei, eps := range cfg.Eps {
+			var rob row
+			rob.Intensity, rob.Policy, rob.Eps = x, "redispatch", eps
+			for rep := 0; rep < cfg.Reps; rep++ {
+				c := &outs[xi*cfg.Reps+rep].robust[ei]
+				if c.err != nil {
+					return nil, fmt.Errorf("intensity %g rep %d eps %g: %w", x, rep, eps, c.err)
+				}
+				accumulate(&rob, c, cfg.N)
+			}
+			finish(&rob, cfg.Reps)
+			file.Rows = append(file.Rows, rob)
+			file.Gates = append(file.Gates, gate(base, rob))
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if line != "" {
+			file.Counters = append(file.Counters, line)
+		}
+	}
+	return file, nil
+}
+
+// runCell simulates one (intensity, rep) cell: the shared topology and
+// disturbance realization, the baseline replay and every ε's robust
+// run.
+func runCell(cfg sweepConfig, root *rng.Source, xi, rep int, reg *obs.Registry, base *cellResult, robust []cellResult) {
+	x := cfg.Intensities[xi]
+	net, err := wsn.Generate(root.Split(1, uint64(rep)), wsn.GenConfig{
+		N: cfg.N, Q: cfg.Q,
+		Dist: wsn.LinearDist{TauMin: cfg.TauMin, TauMax: cfg.TauMax, Sigma: cfg.Sigma},
+	})
+	if err != nil {
+		base.err = err
+		return
+	}
+	model := energy.NewFixed(net)
+	simCfg := sim.Config{T: cfg.T, Dt: cfg.Dt}
+	// Same seed for every policy in the cell: they face the same
+	// breakdown windows, drift walks and telemetry losses (travel
+	// factors are per-dispatch labels, so those differ where the
+	// dispatch patterns do).
+	disturbSeed := root.Split(2, uint64(xi), uint64(rep))
+	newDist := func() sim.Disturbed {
+		return sim.Disturbed{
+			Model: disturb.Standard(disturbSeed, x, disturb.DefaultParams()),
+			Speed: cfg.Speed,
+			Obs:   reg,
+		}
+	}
+
+	plan0, err := core.PlanFixed(net, cfg.T, core.FixedOptions{AlignTau1: cfg.Dt})
+	if err != nil {
+		base.err = err
+		return
+	}
+	res, err := sim.RunDisturbed(net, model, &sim.ScheduleReplay{Schedule: plan0.Schedule}, simCfg, newDist())
+	base.res, base.planned, base.err = res, plan0.Cost(), err
+	if base.err != nil {
+		return
+	}
+
+	for ei, eps := range cfg.Eps {
+		planE, err := core.PlanFixed(net, cfg.T, core.FixedOptions{Slack: eps, AlignTau1: cfg.Dt})
+		if err != nil {
+			robust[ei].err = err
+			return
+		}
+		pol := &sim.Redispatch{Inner: &sim.ScheduleReplay{Schedule: planE.Schedule}}
+		res, err := sim.RunDisturbed(net, model, pol, simCfg, newDist())
+		robust[ei].res, robust[ei].planned, robust[ei].err = res, planE.Cost(), err
+		robust[ei].rescued, robust[ei].inserted = pol.Rescued, pol.Inserted
+		if robust[ei].err != nil {
+			return
+		}
+	}
+}
+
+// accumulate folds one run into its sweep row; n is the sensor count
+// (every sensor contributes one terminal gap on top of its charges).
+func accumulate(r *row, c *cellResult, n int) {
+	r.GapViolations += c.res.GapViolations
+	r.Gaps += c.res.Charges + n
+	r.NearMisses += c.res.NearMisses
+	if c.res.MaxGapRatio > r.MaxGapRatio {
+		r.MaxGapRatio = c.res.MaxGapRatio
+	}
+	r.Deaths += c.res.Deaths
+	r.Requeued += c.res.Requeued
+	r.Interrupted += c.res.InterruptedSorties
+	r.DroppedTours += c.res.DroppedTours
+	r.TelemetryLost += c.res.TelemetryLost
+	r.TelemetryLate += c.res.TelemetryLate
+	r.Rescued += c.rescued
+	r.Inserted += c.inserted
+	r.MeanPlannedCost += c.planned
+	r.MeanDrivenCost += c.res.DrivenCost
+}
+
+// finish turns a row's sums into the published statistics.
+func finish(r *row, reps int) {
+	r.Reps = reps
+	if r.Gaps > 0 {
+		r.PViolation = float64(r.GapViolations) / float64(r.Gaps)
+	}
+	r.MeanPlannedCost /= float64(reps)
+	r.MeanDrivenCost /= float64(reps)
+}
+
+// gate builds the acceptance comparison of a robust row against its
+// baseline.
+func gate(base, rob row) gateRow {
+	pBase := base.PViolation
+	// Floor robust violations at 0.5 events so a violation-free robust
+	// sweep yields a finite (and conservative) reduction factor.
+	vRob := float64(rob.GapViolations)
+	if vRob < 0.5 {
+		vRob = 0.5
+	}
+	pRobFloor := vRob / float64(rob.Gaps)
+	g := gateRow{
+		Intensity:    rob.Intensity,
+		Eps:          rob.Eps,
+		PBaseline:    pBase,
+		PRobust:      rob.PViolation,
+		RobustDeaths: rob.Deaths,
+	}
+	if pRobFloor > 0 {
+		g.ReductionFactor = pBase / pRobFloor
+	}
+	if base.MeanPlannedCost > 0 {
+		g.CostInflation = rob.MeanDrivenCost/base.MeanPlannedCost - 1
+	}
+	return g
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "robust: "+format+"\n", args...)
+	os.Exit(1)
+}

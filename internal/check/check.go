@@ -19,6 +19,7 @@ package check
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -141,6 +142,24 @@ func Gaps(chargeTimes [][]float64, cycles []float64, T, eps float64) error {
 		if T-prev > cycles[i]+eps {
 			return fmt.Errorf("check: sensor %d terminal gap [%g,%g] exceeds cycle %g", i, prev, T, cycles[i])
 		}
+	}
+	return nil
+}
+
+// Arrivals verifies the realized arrival times of one disturbed sortie:
+// every arrival finite, never before the dispatch instant, and
+// nondecreasing in stop order (travel factors are positive, so time
+// cannot run backwards). dispatch is the tour's launch time.
+func Arrivals(dispatch float64, arrive []float64) error {
+	prev := dispatch
+	for k, t := range arrive {
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("check: sortie arrival %d at %g is not finite", k, t)
+		}
+		if t-prev < 0 {
+			return fmt.Errorf("check: sortie arrival %d at %g before previous event at %g", k, t, prev)
+		}
+		prev = t
 	}
 	return nil
 }

@@ -51,6 +51,19 @@ type FixedOptions struct {
 	// topology pass the dense matrix once instead of re-materializing
 	// it per call; it is only ever read.
 	Space metric.Space
+	// Slack is the robustness margin ε in [0, 1): the plan treats every
+	// maximum charging cycle as τ_i·(1−ε), so each sensor banks an
+	// ε-fraction of its cycle against travel-time noise, breakdown
+	// recovery and consumption drift. 0 plans against the nominal
+	// cycles (the paper's setting); the robustness harness sweeps it.
+	Slack float64
+	// AlignTau1, when positive, floors the base period τ_1 down to a
+	// multiple of this grid — typically the simulator's decision
+	// granularity Dt, so every dispatch time j·τ_1 lands on a decision
+	// epoch and the plan can be replayed by a grid-locked policy.
+	// Slack is applied first; an alignment that would push τ_1 to zero
+	// is an error.
+	AlignTau1 float64
 }
 
 func (o FixedOptions) base() (float64, error) {
@@ -111,7 +124,18 @@ func PlanFixed(net *wsn.Network, T float64, opt FixedOptions) (*FixedPlan, error
 	if err != nil {
 		return nil, err
 	}
+	if opt.Slack < 0 || opt.Slack >= 1 {
+		return nil, fmt.Errorf("core: FixedOptions.Slack must be in [0, 1), got %g", opt.Slack)
+	}
 	cycles := net.Cycles()
+	if opt.Slack > 0 {
+		// Plan against the tightened deadlines τ_i·(1−ε); everything
+		// downstream (classes, dispatch cadence, feasibility check)
+		// sees only the slacked cycles.
+		for i := range cycles {
+			cycles[i] *= 1 - opt.Slack
+		}
+	}
 	src := opt.Space
 	if src == nil {
 		// Above metric.DenseLimit points an n×n matrix is prohibitive
@@ -130,7 +154,14 @@ func PlanFixed(net *wsn.Network, T float64, opt FixedOptions) (*FixedPlan, error
 	}
 	depots := net.DepotIndices()
 
-	tau1 := net.MinCycle()
+	tau1 := net.MinCycle() * (1 - opt.Slack)
+	if opt.AlignTau1 > 0 {
+		tau1 = math.Floor(tau1/opt.AlignTau1+1e-9) * opt.AlignTau1
+		if tau1 <= 0 {
+			return nil, fmt.Errorf("core: aligning τ_1 to the %g grid leaves no base period (min slacked cycle %g)",
+				opt.AlignTau1, net.MinCycle()*(1-opt.Slack))
+		}
+	}
 	classes, K := classify(cycles, tau1, base)
 
 	// Build the K+1 prefix solutions D_0..D_K. D_k covers V_0..V_k.

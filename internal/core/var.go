@@ -54,6 +54,12 @@ type Var struct {
 	// verification hook); every round solution is then rebuilt from
 	// scratch exactly as the pre-memoization code did.
 	NoMemo bool
+	// Slack is the robustness margin ε in [0, 1): every replan treats
+	// the reported cycles as τ̂_i·(1−ε), banking a fraction of each
+	// cycle against disturbance (travel noise, breakdown recovery,
+	// drift between reports). 0 plans against the reported cycles
+	// exactly — the paper's setting.
+	Slack float64
 
 	plan     *varPlan
 	assigned []float64 // τ̂'_i under the current plan
@@ -107,6 +113,9 @@ func (v *Var) Name() string { return "MinTotalDistance-var" }
 // (fully observed) initial cycles. All batteries are full, so V^a is
 // empty and no patching occurs.
 func (v *Var) Init(env *sim.Env) error {
+	if v.Slack < 0 || v.Slack >= 1 {
+		return fmt.Errorf("core: Var.Slack must be in [0, 1), got %g", v.Slack)
+	}
 	n := env.Net.N()
 	v.assigned = make([]float64, n)
 	v.nextCharge = make([]float64, n)
@@ -189,7 +198,9 @@ func (v *Var) triggered(env *sim.Env) bool {
 	}
 	t := env.Now()
 	for i := range env.Net.Sensors {
-		cur := v.reported[i]
+		// Assigned cycles were derived from slacked reports, so the
+		// feasibility band must be tested in the same slacked terms.
+		cur := v.reported[i] * (1 - v.Slack)
 		asg := v.assigned[i]
 		if cur < asg-eps {
 			return true
@@ -224,7 +235,9 @@ func (v *Var) replan(env *sim.Env, t float64) ([]rooted.Tour, error) {
 	lives := v.livesBuf[:n]
 	minCycle := math.Inf(1)
 	for i := 0; i < n; i++ {
-		cycles[i] = v.reported[i]
+		// The ε-slack margin tightens every reported cycle before any
+		// class assignment, so the whole plan inherits the headroom.
+		cycles[i] = v.reported[i] * (1 - v.Slack)
 		lives[i] = env.ResidualLife(i)
 		minCycle = math.Min(minCycle, cycles[i])
 	}

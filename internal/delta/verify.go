@@ -19,86 +19,134 @@ import (
 //   - Gap feasibility (Lemma 2): for every live sensor, consecutive
 //     charge times under the patched round grid are at most its cycle
 //     apart, terminal gap to T included.
+//
+// The per-tour and per-slot checks live in named helper methods so
+// their cold error paths sit outside any loop body — Verify runs under
+// the hotalloc lint like the rest of the package.
 func (st *State) Verify() error {
 	if st.nAlive < 1 {
 		return fmt.Errorf("delta: no live sensors")
 	}
 	for k := range st.sols {
-		sol := &st.sols[k]
-		if len(sol.tourOf) != len(st.sensors) {
-			return fmt.Errorf("delta: D_%d tourOf has %d slots, state has %d", k, len(sol.tourOf), len(st.sensors))
-		}
-		seen := make([]int, len(st.sensors))
-		for ti := range sol.tours {
-			t := &sol.tours[ti]
-			if t.depot != ti {
-				return fmt.Errorf("delta: D_%d tour %d labeled depot %d", k, ti, t.depot)
-			}
-			for _, s := range t.stops {
-				if s < 0 || s >= len(st.sensors) {
-					return fmt.Errorf("delta: D_%d tour %d visits slot %d out of range", k, ti, s)
-				}
-				seen[s]++
-				if !st.alive[s] {
-					return fmt.Errorf("delta: D_%d tour %d visits dead slot %d", k, ti, s)
-				}
-				if int(sol.tourOf[s]) != ti {
-					return fmt.Errorf("delta: slot %d in D_%d tour %d but tourOf says %d", s, k, ti, sol.tourOf[s])
-				}
-			}
-			want := st.tourCost(t)
-			if !approxEq(t.cost, want) {
-				return fmt.Errorf("delta: D_%d tour %d cost %g, recomputed %g", k, ti, t.cost, want)
-			}
-		}
-		var wantSol float64
-		for ti := range sol.tours {
-			wantSol += sol.tours[ti].cost
-		}
-		if !approxEq(sol.cost, wantSol) {
-			return fmt.Errorf("delta: D_%d cost %g, tours sum to %g", k, sol.cost, wantSol)
-		}
-		for slot := range st.sensors {
-			c := int(st.class[slot])
-			switch {
-			case !st.alive[slot]:
-				if c != -1 {
-					return fmt.Errorf("delta: dead slot %d has class %d", slot, c)
-				}
-				if seen[slot] != 0 {
-					return fmt.Errorf("delta: dead slot %d appears in D_%d", slot, k)
-				}
-			case c < 0 || c > st.k:
-				return fmt.Errorf("delta: live slot %d has class %d outside [0, %d]", slot, c, st.k)
-			case k >= c && seen[slot] != 1:
-				return fmt.Errorf("delta: live slot %d (class %d) appears %d times in D_%d", slot, c, seen[slot], k)
-			case k < c && seen[slot] != 0:
-				return fmt.Errorf("delta: live slot %d (class %d) appears in D_%d", slot, c, k)
-			}
+		if err := st.verifySolution(k); err != nil {
+			return err
 		}
 	}
-	// Gap feasibility: class c is charged at every round j with
-	// ord(j) >= c, i.e. every base^c·τ_1 time units; that bound must not
-	// exceed the sensor's (unrounded) cycle, and the terminal gap from
-	// the last such round to T must fit too. With the dispatch grid
-	// dense in (0, T) both reduce to base^c·τ_1 <= cycle + eps and the
-	// largest charge time being within cycle of T.
-	for slot, s := range st.sensors {
+	for slot := range st.sensors {
 		if !st.alive[slot] {
 			continue
 		}
-		c := float64(int(st.class[slot]))
-		period := math.Pow(st.base, c) * st.tau1
-		if period > s.Cycle*(1+1e-9) {
-			return fmt.Errorf("delta: slot %d class %d period %g exceeds cycle %g", slot, st.class[slot], period, s.Cycle)
+		if err := st.verifyGaps(slot); err != nil {
+			return err
 		}
-		// Last round charging this class at or below T: the largest
-		// multiple of period strictly inside (0, T). Its gap to T must
-		// also fit (terminal gap of Lemma 2).
-		last := period * math.Floor((st.cfg.T-1e-9)/period)
-		if last > 0 && st.cfg.T-last > s.Cycle*(1+1e-9) {
-			return fmt.Errorf("delta: slot %d terminal gap %g exceeds cycle %g", slot, st.cfg.T-last, s.Cycle)
+	}
+	return nil
+}
+
+// verifySolution checks prefix solution D_k: tour structure, coverage
+// multiplicity and cost bookkeeping.
+func (st *State) verifySolution(k int) error {
+	sol := &st.sols[k]
+	if len(sol.tourOf) != len(st.sensors) {
+		return fmt.Errorf("delta: D_%d tourOf has %d slots, state has %d", k, len(sol.tourOf), len(st.sensors))
+	}
+	seen := make([]int, len(st.sensors))
+	for ti := range sol.tours {
+		if err := st.verifyTour(k, ti, sol, seen); err != nil {
+			return err
 		}
+	}
+	var wantSol float64
+	for ti := range sol.tours {
+		wantSol += sol.tours[ti].cost
+	}
+	if !approxEq(sol.cost, wantSol) {
+		return fmt.Errorf("delta: D_%d cost %g, tours sum to %g", k, sol.cost, wantSol)
+	}
+	for slot := range st.sensors {
+		if err := st.verifyCoverage(k, slot, seen[slot]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyTour checks tour ti of D_k: depot labeling, each stop, and the
+// recorded cost against a from-scratch recomputation.
+func (st *State) verifyTour(k, ti int, sol *solution, seen []int) error {
+	t := &sol.tours[ti]
+	if t.depot != ti {
+		return fmt.Errorf("delta: D_%d tour %d labeled depot %d", k, ti, t.depot)
+	}
+	for _, s := range t.stops {
+		if err := st.verifyStop(k, ti, s, sol, seen); err != nil {
+			return err
+		}
+	}
+	want := st.tourCost(t)
+	if !approxEq(t.cost, want) {
+		return fmt.Errorf("delta: D_%d tour %d cost %g, recomputed %g", k, ti, t.cost, want)
+	}
+	return nil
+}
+
+// verifyStop checks one visited slot s of D_k tour ti and tallies it in
+// seen.
+func (st *State) verifyStop(k, ti, s int, sol *solution, seen []int) error {
+	if s < 0 || s >= len(st.sensors) {
+		return fmt.Errorf("delta: D_%d tour %d visits slot %d out of range", k, ti, s)
+	}
+	seen[s]++
+	if !st.alive[s] {
+		return fmt.Errorf("delta: D_%d tour %d visits dead slot %d", k, ti, s)
+	}
+	if int(sol.tourOf[s]) != ti {
+		return fmt.Errorf("delta: slot %d in D_%d tour %d but tourOf says %d", s, k, ti, sol.tourOf[s])
+	}
+	return nil
+}
+
+// verifyCoverage checks slot's appearance count in D_k against its
+// class and liveness.
+func (st *State) verifyCoverage(k, slot, count int) error {
+	c := int(st.class[slot])
+	switch {
+	case !st.alive[slot]:
+		if c != -1 {
+			return fmt.Errorf("delta: dead slot %d has class %d", slot, c)
+		}
+		if count != 0 {
+			return fmt.Errorf("delta: dead slot %d appears in D_%d", slot, k)
+		}
+	case c < 0 || c > st.k:
+		return fmt.Errorf("delta: live slot %d has class %d outside [0, %d]", slot, c, st.k)
+	case k >= c && count != 1:
+		return fmt.Errorf("delta: live slot %d (class %d) appears %d times in D_%d", slot, c, count, k)
+	case k < c && count != 0:
+		return fmt.Errorf("delta: live slot %d (class %d) appears in D_%d", slot, c, k)
+	}
+	return nil
+}
+
+// verifyGaps checks gap feasibility for one live slot: class c is
+// charged at every round j with ord(j) >= c, i.e. every base^c·τ_1 time
+// units; that bound must not exceed the sensor's (unrounded) cycle, and
+// the terminal gap from the last such round to T must fit too. With the
+// dispatch grid dense in (0, T) both reduce to base^c·τ_1 <= cycle + eps
+// and the largest charge time being within cycle of T.
+func (st *State) verifyGaps(slot int) error {
+	cycle := st.sensors[slot].Cycle
+	c := float64(int(st.class[slot]))
+	period := math.Pow(st.base, c) * st.tau1
+	if period > cycle*(1+1e-9) {
+		return fmt.Errorf("delta: slot %d class %d period %g exceeds cycle %g", slot, st.class[slot], period, cycle)
+	}
+	// Last round charging this class at or below T: the largest
+	// multiple of period strictly inside (0, T). Its gap to T must
+	// also fit (terminal gap of Lemma 2).
+	last := period * math.Floor((st.cfg.T-1e-9)/period)
+	if last > 0 && st.cfg.T-last > cycle*(1+1e-9) {
+		return fmt.Errorf("delta: slot %d terminal gap %g exceeds cycle %g", slot, st.cfg.T-last, cycle)
 	}
 	return nil
 }

@@ -1,0 +1,62 @@
+package disturb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Breakdowns makes chargers fail mid-mission: each depot's charger
+// alternates exponential operating periods (mean MTBF) with exponential
+// repairs (mean MTTR), the classic renewal process. The simulator turns
+// the resulting windows into forced outages and re-queues the sensors a
+// broken charger strands.
+//
+// Each depot's window sequence is drawn once, sequentially, from its own
+// split stream, so the realization depends only on (seed, depot) — not
+// on q, T ordering or on any other facet's draws.
+type Breakdowns struct {
+	Identity
+	src *rng.Source
+	// MTBF is the mean operating time between failures.
+	MTBF float64
+	// MTTR is the mean repair duration.
+	MTTR float64
+}
+
+// NewBreakdowns returns a breakdown process with the given mean time
+// between failures and mean time to repair (both > 0).
+func NewBreakdowns(src *rng.Source, mtbf, mttr float64) *Breakdowns {
+	validatePositive("Breakdowns MTBF", mtbf)
+	validatePositive("Breakdowns MTTR", mttr)
+	return &Breakdowns{src: src.Split(kindBreak), MTBF: mtbf, MTTR: mttr}
+}
+
+// Name implements Model.
+func (b *Breakdowns) Name() string {
+	return fmt.Sprintf("breakdown(mtbf=%g,mttr=%g)", b.MTBF, b.MTTR)
+}
+
+// Windows implements Model: the alternating-renewal realization per
+// depot over [0, T).
+func (b *Breakdowns) Windows(q int, T float64) []Window {
+	var out []Window
+	for d := 0; d < q; d++ {
+		stream := b.src.Split(uint64(d))
+		t := 0.0
+		for {
+			t += b.MTBF * stream.ExpFloat64()
+			if t >= T {
+				break
+			}
+			dur := b.MTTR * stream.ExpFloat64()
+			to := math.Min(t+dur, T)
+			if to > t {
+				out = append(out, Window{Depot: d, From: t, To: to})
+			}
+			t += dur
+		}
+	}
+	return out
+}

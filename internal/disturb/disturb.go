@@ -1,0 +1,274 @@
+// Package disturb models the stochastic physical world the evaluation's
+// benign assumptions abstract away: noisy travel times, chargers that
+// break down mid-tour, consumption rates that drift off the energy
+// model, and telemetry that reaches the base station late or never.
+//
+// The shape follows the network-simulation Model idiom (a small
+// interface of per-event queries — LossRate/Delay — with concrete
+// implementations per regime), transplanted to the charging world: a
+// disturb.Model answers "how much longer does this leg really take",
+// "when is this charger broken", "what is this sensor really burning",
+// and "when does this report actually arrive". The simulator
+// (sim.RunDisturbed) asks; the model answers from seeded streams.
+//
+// Determinism is load-bearing: every draw is a pure function of the
+// model's seed and the query labels (epoch, sensor, leg, ...), derived
+// through internal/rng splittable streams. Two instances built from the
+// same seed return identical answers in any query order, so disturbed
+// runs replay bit-identically regardless of worker count — the same
+// contract the rest of the repo's experiment harness relies on.
+//
+// Models that memoize (Drift's random walk) are cheap to construct and
+// not safe for concurrent use; give each simulation run its own
+// instance, exactly as energy.Slotted already requires.
+package disturb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Lost is the ObsDelay return value for a telemetry report that never
+// reaches the base station.
+const Lost = -1
+
+// Stream-kind salts keep the facets' rng splits disjoint: two models
+// sharing one seed never correlate across facets.
+const (
+	kindTravel uint64 = 0x7261766c // "travl"
+	kindBreak  uint64 = 0x6272656b // "brek"
+	kindDrift  uint64 = 0x64726674 // "drft"
+	kindBurst  uint64 = 0x62757374 // "bust"
+	kindTele   uint64 = 0x74656c65 // "tele"
+)
+
+// Window is one charger-unavailability interval: the charger at depot
+// index Depot (0-based) is broken over [From, To).
+type Window struct {
+	// Depot is the 0-based depot whose charger is down.
+	Depot int
+	// From is the breakdown instant.
+	From float64
+	// To is the repair instant; the window covers [From, To).
+	To float64
+}
+
+// Model is the physical-disturbance interface the disturbed simulator
+// queries. Implementations must be deterministic: every method a pure
+// function of the model's seed and its arguments (possibly memoized),
+// never of query order, so that disturbed runs replay bit-identically.
+type Model interface {
+	// Name identifies the model in harness output.
+	Name() string
+	// TravelFactor returns the multiplicative factor on the nominal
+	// travel time of leg `leg` (0-based, depot->first stop = 0) of the
+	// `tour`-th tour dispatched at decision epoch `epoch`. Factors must
+	// be positive and finite; 1 means the paper's exact-travel world.
+	TravelFactor(epoch, tour, leg int) float64
+	// RateFactor returns the multiplicative factor on sensor i's true
+	// consumption rate at time t. Factors must be positive and finite,
+	// and piecewise constant in t with breakpoints only at multiples of
+	// RateStep().
+	RateFactor(i int, t float64) float64
+	// RateStep returns the constancy step of RateFactor;
+	// math.Inf(1) when the factor never changes.
+	RateStep() float64
+	// ObsDelay returns how many decision epochs late sensor i's
+	// telemetry report issued at epoch `epoch` reaches the base
+	// station: 0 means on time, positive means stale delivery, Lost
+	// means the report is lost and never delivered.
+	ObsDelay(i, epoch int) int
+	// Windows returns the charger-breakdown windows over [0, T) for a
+	// network with q depots. Windows may overlap; the simulator drops
+	// (deterministically) any window that would leave all depots broken
+	// at once, because the scheduling problem is undefined with no
+	// charger at all.
+	Windows(q int, T float64) []Window
+}
+
+// Identity is the all-quiet disturbance: every factor 1, no breakdowns,
+// telemetry on time. Concrete models embed it and override the facets
+// they disturb, so each stays a few lines — the LosslessNetwork idiom.
+type Identity struct{}
+
+// Name implements Model.
+func (Identity) Name() string { return "none" }
+
+// TravelFactor implements Model: exact travel.
+func (Identity) TravelFactor(epoch, tour, leg int) float64 { return 1 }
+
+// RateFactor implements Model: the energy model is the truth.
+func (Identity) RateFactor(i int, t float64) float64 { return 1 }
+
+// RateStep implements Model.
+func (Identity) RateStep() float64 { return math.Inf(1) }
+
+// ObsDelay implements Model: telemetry arrives instantly.
+func (Identity) ObsDelay(i, epoch int) int { return 0 }
+
+// Windows implements Model: chargers never fail.
+func (Identity) Windows(q int, T float64) []Window { return nil }
+
+// None is the benign world — a ready-to-use Identity value.
+var None Model = Identity{}
+
+// Compose stacks disturbance models: travel and rate factors multiply,
+// breakdown windows union, and telemetry takes the worst case (lost if
+// any component loses the report, else the maximum delay). Component
+// RateSteps should be integer multiples of the smallest so the composed
+// factor stays constant on the reported step grid.
+type Compose []Model
+
+// Name implements Model.
+func (c Compose) Name() string {
+	parts := make([]string, len(c))
+	for i, m := range c {
+		parts[i] = m.Name()
+	}
+	return strings.Join(parts, "+")
+}
+
+// TravelFactor implements Model: the product over components.
+func (c Compose) TravelFactor(epoch, tour, leg int) float64 {
+	f := 1.0
+	for _, m := range c {
+		f *= m.TravelFactor(epoch, tour, leg)
+	}
+	return f
+}
+
+// RateFactor implements Model: the product over components.
+func (c Compose) RateFactor(i int, t float64) float64 {
+	f := 1.0
+	for _, m := range c {
+		f *= m.RateFactor(i, t)
+	}
+	return f
+}
+
+// RateStep implements Model: the finest component step.
+func (c Compose) RateStep() float64 {
+	step := math.Inf(1)
+	for _, m := range c {
+		step = math.Min(step, m.RateStep())
+	}
+	return step
+}
+
+// ObsDelay implements Model: lost dominates, then the maximum delay.
+func (c Compose) ObsDelay(i, epoch int) int {
+	d := 0
+	for _, m := range c {
+		md := m.ObsDelay(i, epoch)
+		if md == Lost {
+			return Lost
+		}
+		if md > d {
+			d = md
+		}
+	}
+	return d
+}
+
+// Windows implements Model: the union (concatenation) of component
+// windows, in component order.
+func (c Compose) Windows(q int, T float64) []Window {
+	var out []Window
+	for _, m := range c {
+		out = append(out, m.Windows(q, T)...)
+	}
+	return out
+}
+
+// Params are the per-facet magnitudes of the Standard composite at
+// intensity 1. Each scales (multiplicatively) with the sweep intensity;
+// zero disables the facet entirely.
+type Params struct {
+	// TravelSigma is the lognormal σ of per-leg travel factors.
+	TravelSigma float64
+	// BreakMTBF is each charger's mean operating time between failures;
+	// the failure *rate* scales with intensity (MTBF/x), the repair
+	// time does not.
+	BreakMTBF float64
+	// BreakMTTR is the mean repair time of a broken charger.
+	BreakMTTR float64
+	// DriftSigma is the per-step σ of each sensor's log-consumption
+	// random walk.
+	DriftSigma float64
+	// DriftStep is the walk's time step (also the burst slot length).
+	DriftStep float64
+	// BurstProb is the per-sensor-per-step probability of a consumption
+	// burst (scales with intensity).
+	BurstProb float64
+	// BurstMag is the multiplicative magnitude of a burst slot.
+	BurstMag float64
+	// TeleLoss is the per-report telemetry loss probability (scales
+	// with intensity, capped at 0.9).
+	TeleLoss float64
+	// TeleDelayMean is the mean telemetry delivery delay in decision
+	// epochs.
+	TeleDelayMean float64
+}
+
+// DefaultParams returns the reference disturbance magnitudes the
+// robustness harness sweeps from: ±~15% travel-time jitter, a charger
+// failure every 40 time units repaired in 3, a 2%-per-step consumption
+// walk with rare 1.5x bursts, and 5% telemetry loss with ~2-epoch mean
+// delay — all at intensity 1.
+func DefaultParams() Params {
+	return Params{
+		TravelSigma:   0.15,
+		BreakMTBF:     40,
+		BreakMTTR:     3,
+		DriftSigma:    0.02,
+		DriftStep:     1,
+		BurstProb:     0.01,
+		BurstMag:      1.5,
+		TeleLoss:      0.05,
+		TeleDelayMean: 2,
+	}
+}
+
+// Standard builds the harness's composite disturbance at the given
+// intensity: travel noise, breakdowns, consumption drift and telemetry
+// degradation stacked, each facet's magnitude scaled by intensity (0
+// yields the benign world). src seeds every facet; two Standard models
+// built from equal-seed sources are indistinguishable.
+func Standard(src *rng.Source, intensity float64, p Params) Model {
+	if intensity <= 0 {
+		return None
+	}
+	var c Compose
+	if p.TravelSigma > 0 {
+		c = append(c, NewTravelNoise(src, p.TravelSigma*intensity))
+	}
+	if p.BreakMTBF > 0 && p.BreakMTTR > 0 {
+		c = append(c, NewBreakdowns(src, p.BreakMTBF/intensity, p.BreakMTTR))
+	}
+	if p.DriftSigma > 0 || p.BurstProb > 0 {
+		c = append(c, NewDrift(src, DriftConfig{
+			Sigma:     p.DriftSigma * intensity,
+			Step:      p.DriftStep,
+			BurstProb: math.Min(0.5, p.BurstProb*intensity),
+			BurstMag:  p.BurstMag,
+		}))
+	}
+	if p.TeleLoss > 0 || p.TeleDelayMean > 0 {
+		c = append(c, NewTelemetry(src, math.Min(0.9, p.TeleLoss*intensity), p.TeleDelayMean*intensity))
+	}
+	if len(c) == 0 {
+		return None
+	}
+	return c
+}
+
+// validatePositive panics on a non-positive or non-finite magnitude —
+// construction-time misuse, not a runtime condition.
+func validatePositive(what string, v float64) {
+	if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		panic(fmt.Sprintf("disturb: %s must be positive and finite, got %g", what, v))
+	}
+}

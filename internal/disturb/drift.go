@@ -1,0 +1,109 @@
+package disturb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// DriftConfig parameterizes a Drift model.
+type DriftConfig struct {
+	// Sigma is the per-step standard deviation of each sensor's
+	// log-consumption random walk; 0 disables the walk.
+	Sigma float64
+	// Step is the walk's time step (> 0), which is also the burst slot
+	// length and the model's RateStep.
+	Step float64
+	// BurstProb is the per-sensor-per-step probability of a consumption
+	// burst in [0, 1); 0 disables bursts.
+	BurstProb float64
+	// BurstMag multiplies the rate during a burst slot (> 0; values > 1
+	// are surges, < 1 are lulls).
+	BurstMag float64
+}
+
+// Drift layers stochastic consumption on top of the energy model: each
+// sensor's true rate is the modeled rate times exp(W_i(t)) for a
+// per-sensor Gaussian random walk W_i frozen between steps, times an
+// occasional burst factor for slots where a sensor transiently surges
+// (event detection, retransmission storms).
+//
+// Walk increments are drawn per (sensor, step) from split streams and
+// the cumulative sums memoized, so factors are pure in (seed, sensor,
+// step) yet amortize to O(1) per query. The memo makes a Drift value
+// stateful: like energy.Slotted, construct one per simulation run and
+// do not share it across goroutines.
+type Drift struct {
+	Identity
+	cfg  DriftConfig
+	walk *rng.Source
+	bst  *rng.Source
+	// sums[i] holds sensor i's prefix sums of walk increments:
+	// sums[i][s] = W_i at step s, grown lazily.
+	sums map[int][]float64
+}
+
+// NewDrift returns a consumption-drift model for the given config.
+// Sigma and BurstProb may each be zero to disable that facet.
+func NewDrift(src *rng.Source, cfg DriftConfig) *Drift {
+	validatePositive("Drift step", cfg.Step)
+	if cfg.Sigma < 0 || math.IsNaN(cfg.Sigma) {
+		panic(fmt.Sprintf("disturb: Drift sigma must be >= 0, got %g", cfg.Sigma))
+	}
+	if cfg.BurstProb < 0 || cfg.BurstProb >= 1 || math.IsNaN(cfg.BurstProb) {
+		panic(fmt.Sprintf("disturb: Drift burst probability must be in [0, 1), got %g", cfg.BurstProb))
+	}
+	if cfg.BurstProb > 0 {
+		validatePositive("Drift burst magnitude", cfg.BurstMag)
+	}
+	return &Drift{
+		cfg:  cfg,
+		walk: src.Split(kindDrift),
+		bst:  src.Split(kindBurst),
+		sums: make(map[int][]float64),
+	}
+}
+
+// Name implements Model.
+func (d *Drift) Name() string {
+	return fmt.Sprintf("drift(sigma=%g,step=%g,burst=%g@%g)", d.cfg.Sigma, d.cfg.Step, d.cfg.BurstMag, d.cfg.BurstProb)
+}
+
+// RateStep implements Model.
+func (d *Drift) RateStep() float64 { return d.cfg.Step }
+
+// RateFactor implements Model: exp(walk) times the slot's burst factor.
+func (d *Drift) RateFactor(i int, t float64) float64 {
+	step := int(t / d.cfg.Step)
+	if step < 0 {
+		step = 0
+	}
+	f := 1.0
+	if d.cfg.Sigma > 0 {
+		f = math.Exp(d.walkAt(i, step))
+	}
+	if d.cfg.BurstProb > 0 {
+		if d.bst.Split(uint64(i), uint64(step)).Float64() < d.cfg.BurstProb {
+			f *= d.cfg.BurstMag
+		}
+	}
+	return f
+}
+
+// walkAt returns W_i at the given step, extending sensor i's memoized
+// prefix sums as needed. Increment s is drawn from the (sensor, step)
+// split stream, so the walk's value is independent of visit order.
+func (d *Drift) walkAt(i, step int) float64 {
+	sums := d.sums[i]
+	if sums == nil {
+		// sums[0] = 0: the walk starts unbiased at t=0.
+		sums = append(make([]float64, 0, step+1), 0)
+	}
+	for s := len(sums); s <= step; s++ {
+		inc := d.cfg.Sigma * d.walk.Split(uint64(i), uint64(s)).NormFloat64()
+		sums = append(sums, sums[s-1]+inc)
+	}
+	d.sums[i] = sums
+	return sums[step]
+}

@@ -1,0 +1,79 @@
+package disturb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzStandardModel fuzzes the composite disturbance over seed and
+// facet magnitudes: whatever the inputs, factors must stay positive and
+// finite, delays must be whole epochs or Lost, windows must be
+// well-formed, and two same-seed instances must agree sample-for-sample
+// (byte-identical realizations).
+//
+//lint:allow floateq determinism asserts bit-identical draws
+func FuzzStandardModel(f *testing.F) {
+	f.Add(uint64(1), 1.0, 0.15, 0.05, 2.0)
+	f.Add(uint64(42), 0.25, 0.6, 0.0, 0.0)
+	f.Add(uint64(0), 4.0, 0.01, 0.3, 9.5)
+	f.Fuzz(func(t *testing.T, seed uint64, intensity, travelSigma, teleLoss, teleDelay float64) {
+		// Clamp fuzzed magnitudes into each parameter's documented
+		// domain; the point is stressing valid configurations, not the
+		// constructors' panic guards.
+		clamp := func(v, lo, hi float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < lo {
+				return lo
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		p := DefaultParams()
+		p.TravelSigma = clamp(travelSigma, 0, 2)
+		p.TeleLoss = clamp(teleLoss, 0, 0.9)
+		p.TeleDelayMean = clamp(teleDelay, 0, 50)
+		intensity = clamp(intensity, 0, 8)
+
+		a := Standard(rng.New(seed), intensity, p)
+		b := Standard(rng.New(seed), intensity, p)
+		sa, sb := sample(a), sample(b)
+		if len(sa) != len(sb) {
+			t.Fatalf("same-seed sample lengths differ: %d vs %d", len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("same-seed sample %d differs: %v vs %v", i, sa[i], sb[i])
+			}
+		}
+		for epoch := 0; epoch < 6; epoch++ {
+			for leg := 0; leg < 3; leg++ {
+				f := a.TravelFactor(epoch, 0, leg)
+				if !(f > 0) || math.IsInf(f, 0) || math.IsNaN(f) {
+					t.Fatalf("TravelFactor(%d,0,%d) = %v not positive finite", epoch, leg, f)
+				}
+			}
+		}
+		for i := 0; i < 6; i++ {
+			for _, tm := range []float64{0, 0.7, 3, 11.2} {
+				f := a.RateFactor(i, tm)
+				if !(f > 0) || math.IsInf(f, 0) || math.IsNaN(f) {
+					t.Fatalf("RateFactor(%d,%g) = %v not positive finite", i, tm, f)
+				}
+			}
+			for epoch := 0; epoch < 8; epoch++ {
+				if d := a.ObsDelay(i, epoch); d < Lost {
+					t.Fatalf("ObsDelay(%d,%d) = %d below Lost", i, epoch, d)
+				}
+			}
+		}
+		for _, w := range a.Windows(3, 40) {
+			if w.Depot < 0 || w.Depot >= 3 || !(w.From < w.To) || w.From < 0 || w.To > 40 ||
+				math.IsNaN(w.From) || math.IsNaN(w.To) {
+				t.Fatalf("malformed window %+v", w)
+			}
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package disturb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Telemetry degrades the sensing channel to the base station: each
+// (sensor, epoch) report is independently lost with probability Loss,
+// and otherwise delayed by a geometric-ish number of decision epochs
+// with the given mean (an exponential draw truncated to whole epochs).
+// The EWMA predictor then observes stale values late, or never — the
+// planner's view of the network lags its true state.
+type Telemetry struct {
+	Identity
+	src *rng.Source
+	// Loss is the per-report loss probability in [0, 1).
+	Loss float64
+	// DelayMean is the mean delivery delay in decision epochs (>= 0).
+	DelayMean float64
+}
+
+// NewTelemetry returns a telemetry-degradation model with the given
+// loss probability in [0, 1) and mean delay in epochs (>= 0).
+func NewTelemetry(src *rng.Source, loss, delayMean float64) *Telemetry {
+	if loss < 0 || loss >= 1 || math.IsNaN(loss) {
+		panic(fmt.Sprintf("disturb: Telemetry loss must be in [0, 1), got %g", loss))
+	}
+	if delayMean < 0 || math.IsInf(delayMean, 0) || math.IsNaN(delayMean) {
+		panic(fmt.Sprintf("disturb: Telemetry delay mean must be finite and >= 0, got %g", delayMean))
+	}
+	return &Telemetry{src: src.Split(kindTele), Loss: loss, DelayMean: delayMean}
+}
+
+// Name implements Model.
+func (m *Telemetry) Name() string {
+	return fmt.Sprintf("telemetry(loss=%g,delay=%g)", m.Loss, m.DelayMean)
+}
+
+// ObsDelay implements Model: Lost with probability Loss, else a
+// truncated-exponential whole-epoch delay, pure in (seed, i, epoch).
+func (m *Telemetry) ObsDelay(i, epoch int) int {
+	leaf := m.src.Split(uint64(i), uint64(epoch))
+	if m.Loss > 0 && leaf.Float64() < m.Loss {
+		return Lost
+	}
+	if m.DelayMean <= 0 {
+		return 0
+	}
+	return int(m.DelayMean * leaf.ExpFloat64())
+}

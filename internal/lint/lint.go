@@ -193,6 +193,7 @@ func Analyzers() []*Analyzer {
 	algo := []string{
 		"repro/internal/core",
 		"repro/internal/delta",
+		"repro/internal/disturb",
 		"repro/internal/energy",
 		"repro/internal/experiment",
 		"repro/internal/geom",
@@ -241,9 +242,11 @@ func Analyzers() []*Analyzer {
 	}
 	return []*Analyzer{
 		{
-			Name:  "walltime",
-			Doc:   "no wall-clock reads (time.Now/Since/Until) in algorithm packages",
-			Scope: append(append([]string{}, algo...), serving...),
+			Name: "walltime",
+			Doc:  "no wall-clock reads (time.Now/Since/Until) in algorithm packages",
+			// cmd/robust rides along: its artifacts must be byte-stable
+			// for identical seeds, so no wall clock there either.
+			Scope: append(append([]string{"repro/cmd/robust"}, algo...), serving...),
 			run:   runWalltime,
 		},
 		{

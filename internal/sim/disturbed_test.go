@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/disturb"
+	"repro/internal/energy"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/rooted"
+	"repro/internal/sched"
+)
+
+func TestValidateOutagesAllDownTyped(t *testing.T) {
+	nw := testNet(t, 4) // q = 3
+	cfg := Config{T: 20, Dt: 1, Outages: []Outage{
+		{Depot: 0, From: 2, To: 8},
+		{Depot: 1, From: 3, To: 9},
+		{Depot: 2, From: 4, To: 6},
+	}}
+	_, err := Run(nw, energy.NewFixed(nw), nullPolicy{}, cfg)
+	var add *AllDepotsDownError
+	if !errors.As(err, &add) {
+		t.Fatalf("want AllDepotsDownError, got %v", err)
+	}
+	if add.Q != 3 || add.T != 4 { //lint:allow floateq exact outage window start
+		t.Errorf("AllDepotsDownError{T:%g, Q:%d}, want T=4 Q=3", add.T, add.Q)
+	}
+
+	// One depot always alive: fine.
+	cfg.Outages = cfg.Outages[:2]
+	if _, err := Run(nw, energy.NewFixed(nw), nullPolicy{}, cfg); err != nil {
+		t.Fatalf("non-covering outages rejected: %v", err)
+	}
+	// RunDisturbed enforces the same invariant on user windows.
+	cfg.Outages = append(cfg.Outages, Outage{Depot: 2, From: 4, To: 6})
+	_, err = RunDisturbed(nw, energy.NewFixed(nw), nullPolicy{}, cfg, Disturbed{Speed: 1e9})
+	if !errors.As(err, &add) {
+		t.Fatalf("RunDisturbed: want AllDepotsDownError, got %v", err)
+	}
+}
+
+// periodicPolicy charges everyone from the first active depot every
+// period epochs, with real tour geometry (stops in index order).
+type periodicPolicy struct{ period float64 }
+
+func (periodicPolicy) Name() string    { return "periodic" }
+func (periodicPolicy) Init(*Env) error { return nil }
+func (p periodicPolicy) Decide(env *Env, t float64) ([]rooted.Tour, error) {
+	if math.Mod(t+1e-9, p.period) > 2e-9 {
+		return nil, nil
+	}
+	stops := make([]int, env.Net.N())
+	cost := 0.0
+	cur := env.ActiveDepots()[0]
+	for i := range stops {
+		stops[i] = i
+		cost += env.Space.Dist(cur, i)
+		cur = i
+	}
+	cost += env.Space.Dist(cur, env.ActiveDepots()[0])
+	return []rooted.Tour{{Depot: env.ActiveDepots()[0], Stops: stops, Cost: cost}}, nil
+}
+
+func TestRunDisturbedNoneFastMatchesRun(t *testing.T) {
+	nw := testNet(t, 8)
+	model := energy.NewFixed(nw)
+	cfg := Config{T: 20, Dt: 1}
+	pol := periodicPolicy{period: 2}
+	want, err := Run(nw, model, pol, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no disturbance and near-infinite speed the disturbed runner
+	// degenerates to the benign one: same deaths, charges, energy.
+	got, err := RunDisturbed(nw, model, pol, cfg, Disturbed{Speed: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Deaths != want.Deaths || got.Charges != want.Charges {
+		t.Errorf("disturbed none: deaths=%d charges=%d, want %d/%d", got.Deaths, got.Charges, want.Deaths, want.Charges)
+	}
+	if math.Abs(got.EnergyDelivered-want.EnergyDelivered) > 1e-6 {
+		t.Errorf("energy %g, want %g", got.EnergyDelivered, want.EnergyDelivered)
+	}
+	if got.GapViolations != 0 {
+		t.Errorf("benign world produced %d gap violations", got.GapViolations)
+	}
+	if got.DrivenCost <= 0 {
+		t.Errorf("driven cost %g, want positive", got.DrivenCost)
+	}
+}
+
+func TestRunDisturbedDeterministic(t *testing.T) {
+	nw := testNet(t, 12)
+	model := energy.NewFixed(nw)
+	cfg := Config{T: 30, Dt: 1}
+	mk := func() Disturbed {
+		return Disturbed{
+			Model: disturb.Standard(rng.New(99), 2, disturb.DefaultParams()),
+			Speed: 500,
+		}
+	}
+	a, err := RunDisturbed(nw, model, periodicPolicy{period: 2}, cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDisturbed(nw, model, periodicPolicy{period: 2}, cfg, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Schedule, b.Schedule = nil, nil // compared via cost below
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed disturbed runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunDisturbedBreakdownInterruptsAndRequeues(t *testing.T) {
+	nw := testNet(t, 6)
+	model := energy.NewFixed(nw)
+	// Speed so slow the single tour at t=1 is still flying at t=2 when
+	// depot 0 (its root) breaks down.
+	probe := &requeueProbe{inner: periodicPolicy{period: 50}}
+	cfg := Config{T: 10, Dt: 1, Outages: []Outage{{Depot: 0, From: 1.5, To: 9}}}
+	res, err := RunDisturbed(nw, model, probe, cfg, Disturbed{Speed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InterruptedSorties == 0 {
+		t.Error("mid-flight breakdown did not interrupt the sortie")
+	}
+	if res.Requeued == 0 {
+		t.Error("interrupted sortie stranded no sensors")
+	}
+	if !probe.sawRequeued {
+		t.Error("policy never observed Env.Requeued sensors")
+	}
+	// Driven cost is priced at visited-vertex granularity: a sortie
+	// interrupted before its first stop drove out and home for "free",
+	// so only non-negativity is guaranteed here.
+	if res.DrivenCost < 0 {
+		t.Errorf("driven cost %g negative", res.DrivenCost)
+	}
+}
+
+// requeueProbe dispatches one big tour at t=1 from depot 0 and records
+// whether a later Decide call saw stranded sensors.
+type requeueProbe struct {
+	inner       periodicPolicy
+	sawRequeued bool
+}
+
+func (*requeueProbe) Name() string    { return "requeueProbe" }
+func (*requeueProbe) Init(*Env) error { return nil }
+func (p *requeueProbe) Decide(env *Env, t float64) ([]rooted.Tour, error) {
+	if len(env.Requeued()) > 0 {
+		p.sawRequeued = true
+	}
+	if t == 1 { //lint:allow floateq exact decision-grid time
+		stops := make([]int, env.Net.N())
+		for i := range stops {
+			stops[i] = i
+		}
+		return []rooted.Tour{{Depot: env.Depots[0], Stops: stops}}, nil
+	}
+	return nil, nil
+}
+
+func TestRunDisturbedDropsToursFromDeadDepot(t *testing.T) {
+	nw := testNet(t, 2)
+	cfg := Config{T: 10, Dt: 1, Outages: []Outage{{Depot: 0, From: 0, To: 10}}}
+	// outageBreaker insists on depot 0; the plain Run errors, the
+	// disturbed run drops the sorties and strands their sensors.
+	res, err := RunDisturbed(nw, energy.NewFixed(nw), outageBreaker{}, cfg, Disturbed{Speed: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedTours == 0 {
+		t.Error("no tours dropped despite a dead depot")
+	}
+	if res.Charges != 0 {
+		t.Errorf("%d charges from a depot that was down the whole run", res.Charges)
+	}
+}
+
+func TestScheduleReplayPolicy(t *testing.T) {
+	nw := testNet(t, 4)
+	model := energy.NewFixed(nw)
+	sch := &sched.Schedule{T: 10}
+	stops := []int{0, 1, 2, 3}
+	for _, tm := range []float64{2, 4, 6, 8} {
+		sch.Rounds = append(sch.Rounds, sched.Round{Time: tm, Tours: []rooted.Tour{
+			{Depot: nw.DepotIndex(0), Stops: stops, Cost: 5},
+		}})
+	}
+	rp := &ScheduleReplay{Schedule: sch}
+	res, err := RunDisturbed(nw, model, rp, Config{T: 10, Dt: 1}, Disturbed{Speed: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Charges != 16 {
+		t.Errorf("replayed %d charges, want 16", res.Charges)
+	}
+	if nc := rp.NextCharge(1, 4.5); nc != 6 { //lint:allow floateq exact scheduled round time
+		t.Errorf("NextCharge(1, 4.5) = %g, want 6", nc)
+	}
+	if nc := rp.NextCharge(1, 8.5); !math.IsInf(nc, 1) {
+		t.Errorf("NextCharge past the last round = %g, want +Inf", nc)
+	}
+
+	// Off-grid round times are rejected at Init.
+	bad := &ScheduleReplay{Schedule: &sched.Schedule{T: 10, Rounds: []sched.Round{{Time: 2.5}}}}
+	if _, err := RunDisturbed(nw, model, bad, Config{T: 10, Dt: 1}, Disturbed{Speed: 1e12}); err == nil {
+		t.Error("off-grid replay accepted")
+	}
+}
+
+func TestRedispatchRescuesDownDepotTours(t *testing.T) {
+	nw := testNet(t, 6)
+	model := energy.NewFixed(nw)
+	cfg := Config{T: 10, Dt: 1, Outages: []Outage{{Depot: 0, From: 0, To: 10}}}
+	rd := &Redispatch{Inner: outageBreaker{}}
+	res, err := RunDisturbed(nw, model, rd, cfg, Disturbed{Speed: 1e12, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedTours != 0 {
+		t.Errorf("%d tours still dropped under Redispatch", res.DroppedTours)
+	}
+	if rd.Redispatches == 0 || rd.Rescued == 0 {
+		t.Errorf("redispatches=%d rescued=%d, want both positive", rd.Redispatches, rd.Rescued)
+	}
+	if res.Charges == 0 {
+		t.Error("rescue tours charged nobody")
+	}
+}
+
+func TestRedispatchDeadlinePressure(t *testing.T) {
+	nw := testNet(t, 4)
+	model := energy.NewFixed(nw)
+	// A schedule that charges everyone once at t=2 and never again:
+	// every sensor with cycle < T-2 will die without rescue.
+	sch := &sched.Schedule{T: 30}
+	sch.Rounds = append(sch.Rounds, sched.Round{Time: 2, Tours: []rooted.Tour{
+		{Depot: nw.DepotIndex(0), Stops: []int{0, 1, 2, 3}, Cost: 5},
+	}})
+	base := &ScheduleReplay{Schedule: sch}
+	bare, err := RunDisturbed(nw, model, &ScheduleReplay{Schedule: sch}, Config{T: 30, Dt: 1}, Disturbed{Speed: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Deaths == 0 {
+		t.Fatal("expected deaths under the starved schedule (test premise)")
+	}
+	rd := &Redispatch{Inner: base}
+	res, err := RunDisturbed(nw, model, rd, Config{T: 30, Dt: 1}, Disturbed{Speed: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deaths != 0 {
+		t.Errorf("deadline pressure missed: %d deaths with rescue enabled", res.Deaths)
+	}
+	if rd.Rescued == 0 {
+		t.Error("no sensors rescued despite certain death")
+	}
+}
+
+func TestRunDisturbedGapViolationAccounting(t *testing.T) {
+	nw := testNet(t, 3)
+	model := energy.NewFixed(nw)
+	// Null policy: every sensor's only gap is [0, T], violating every
+	// cycle < T.
+	res, err := RunDisturbed(nw, model, nullPolicy{}, Config{T: 50, Dt: 1}, Disturbed{Speed: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, c := range nw.Cycles() {
+		if c < 50 {
+			want++
+		}
+	}
+	if res.GapViolations != want {
+		t.Errorf("gap violations = %d, want %d", res.GapViolations, want)
+	}
+	if res.MaxGapRatio <= 1 {
+		t.Errorf("max gap ratio %g, want > 1", res.MaxGapRatio)
+	}
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rooted"
+)
+
+// Redispatch wraps a base policy with the breakdown/deadline reaction
+// loop that turns an open-loop plan into a closed-loop one. At every
+// decision epoch it
+//
+//  1. re-roots: tours the base policy aimed at a depot that is down are
+//     not dropped by the simulator — their stops join a rescue set;
+//  2. recovers: sensors the disturbed run stranded (Env.Requeued) join
+//     the rescue set;
+//  3. watches deadlines: when the base policy can estimate its next
+//     scheduled charge (NextChargeEstimator), any sensor predicted to
+//     die before then — residual lifetime shorter than the wait plus a
+//     safety margin — is topped up. If chargers are rolling this epoch
+//     anyway the sensor is folded into a dispatched tour by cheapest
+//     insertion (a small detour); otherwise a dedicated rescue is
+//     dispatched, as late as safely possible so one rescue buys a full
+//     battery of headroom;
+//
+// and then covers the rescue set with fresh q-rooted tours from the
+// currently active depots.
+type Redispatch struct {
+	// Inner is the base policy being hardened.
+	Inner Policy
+	// Rooted configures the rescue-tour construction.
+	Rooted rooted.Options
+	// Margin is the deadline-pressure safety margin in time units; 0
+	// defaults to 1.5 decision epochs (one epoch of reaction latency
+	// plus half an epoch of travel slop).
+	Margin float64
+
+	// Redispatches counts epochs at which at least one rescue tour was
+	// dispatched.
+	Redispatches int
+	// Rescued counts sensors covered by dedicated rescue tours.
+	Rescued int
+	// Inserted counts pressured sensors topped up by cheapest insertion
+	// into an already-dispatched tour instead of a dedicated rescue.
+	Inserted int
+
+	est NextChargeEstimator
+	rnd NextRoundEstimator
+}
+
+// Name implements Policy.
+func (r *Redispatch) Name() string { return fmt.Sprintf("redispatch(%s)", r.Inner.Name()) }
+
+// Init implements Policy: it initializes the inner policy and applies
+// the margin default.
+func (r *Redispatch) Init(env *Env) error {
+	if r.Inner == nil {
+		return fmt.Errorf("sim: Redispatch needs an inner policy")
+	}
+	if err := r.Inner.Init(env); err != nil {
+		return err
+	}
+	if r.Margin == 0 {
+		r.Margin = 1.5 * env.Dt
+	}
+	r.est, _ = r.Inner.(NextChargeEstimator)
+	r.rnd, _ = r.Inner.(NextRoundEstimator)
+	r.Redispatches = 0
+	r.Rescued = 0
+	r.Inserted = 0
+	return nil
+}
+
+// insert tops sensor i up by cheapest insertion into one of the kept
+// tours, cloning the chosen tour's stop list first — inner policies may
+// reuse their tour slices across epochs, so they are never mutated in
+// place.
+func (r *Redispatch) insert(env *Env, kept []rooted.Tour, i int) []rooted.Tour {
+	best, bestPos, bestDelta := -1, 0, math.Inf(1)
+	for ti := range kept {
+		stops := kept[ti].Stops
+		if len(stops) == 0 {
+			continue
+		}
+		for p := 0; p <= len(stops); p++ {
+			prev, next := kept[ti].Depot, kept[ti].Depot
+			if p > 0 {
+				prev = stops[p-1]
+			}
+			if p < len(stops) {
+				next = stops[p]
+			}
+			delta := env.Space.Dist(prev, i) + env.Space.Dist(i, next) - env.Space.Dist(prev, next)
+			if delta < bestDelta {
+				best, bestPos, bestDelta = ti, p, delta
+			}
+		}
+	}
+	if best < 0 {
+		return kept
+	}
+	old := kept[best].Stops
+	stops := make([]int, 0, len(old)+1)
+	stops = append(stops, old[:bestPos]...)
+	stops = append(stops, i)
+	stops = append(stops, old[bestPos:]...)
+	kept[best].Stops = stops
+	kept[best].Cost += bestDelta
+	return kept
+}
+
+// Decide implements Policy.
+func (r *Redispatch) Decide(env *Env, t float64) ([]rooted.Tour, error) {
+	tours, err := r.Inner.Decide(env, t)
+	if err != nil {
+		return nil, err
+	}
+	active := make(map[int]bool)
+	for _, d := range env.ActiveDepots() {
+		active[d] = true
+	}
+	covered := make(map[int]bool)
+	rescue := make(map[int]bool)
+	kept := tours[:0]
+	for _, tour := range tours {
+		if active[tour.Depot] || len(tour.Stops) == 0 {
+			kept = append(kept, tour)
+			for _, s := range tour.Stops {
+				covered[s] = true
+			}
+			continue
+		}
+		for _, s := range tour.Stops {
+			rescue[s] = true
+		}
+	}
+	for _, s := range env.Requeued() {
+		rescue[s] = true
+	}
+	if r.est != nil {
+		haveTours := false
+		for _, tour := range kept {
+			if len(tour.Stops) > 0 {
+				haveTours = true
+				break
+			}
+		}
+		// soon collects pressured, non-deferrable sensors that are not
+		// yet urgent; they ride along if anything forces a sortie.
+		var soon []int
+		urgent := false
+		for i := 0; i < env.Net.N(); i++ {
+			if covered[i] {
+				continue
+			}
+			// A sensor must survive until its next scheduled charge —
+			// or the end of the horizon, whichever comes first.
+			wait := math.Min(r.est.NextCharge(i, t), env.T) - t
+			if wait <= 0 {
+				continue
+			}
+			life := env.ResidualLife(i)
+			if life >= wait+r.Margin {
+				continue
+			}
+			// Defer if the sensor survives to the policy's next
+			// dispatch (with margin): a later epoch can still save it,
+			// so don't pay for a top-up now.
+			if r.rnd != nil {
+				gap := math.Min(r.rnd.NextRound(t), env.T) - t
+				if life >= gap+r.Margin {
+					continue
+				}
+			}
+			if haveTours {
+				// Chargers are rolling anyway: top the sensor up via
+				// cheapest insertion into a dispatched tour — a small
+				// detour instead of a dedicated round trip later.
+				kept = r.insert(env, kept, i)
+				covered[i] = true
+				r.Inserted++
+				continue
+			}
+			// No tour to piggyback on: a dedicated rescue, but as late
+			// as safely possible — only when waiting one more decision
+			// epoch would be risky. Without the urgency test a
+			// chronically pressured sensor — one whose full-battery
+			// lifetime is shorter than its schedule interval — would be
+			// re-rescued every epoch.
+			if life < env.Dt+r.Margin {
+				rescue[i] = true
+				urgent = true
+			} else {
+				soon = append(soon, i)
+			}
+		}
+		if urgent || len(rescue) > 0 {
+			// Something forces a sortie anyway — a deadline, a dropped
+			// tour, stranded sensors: amortize it over every sensor that
+			// would otherwise need its own rescue shortly.
+			for _, i := range soon {
+				rescue[i] = true
+			}
+		}
+	}
+	for s := range covered {
+		delete(rescue, s)
+	}
+	if len(rescue) == 0 {
+		return kept, nil
+	}
+	need := make([]int, 0, len(rescue))
+	for s := range rescue {
+		need = append(need, s)
+	}
+	sort.Ints(need)
+	sol := rooted.Tours(env.Space, env.ActiveDepots(), need, r.Rooted)
+	added := false
+	for _, tour := range sol.Tours {
+		if len(tour.Stops) == 0 {
+			continue
+		}
+		kept = append(kept, tour)
+		added = true
+	}
+	if added {
+		r.Redispatches++
+		r.Rescued += len(need)
+	}
+	return kept, nil
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rooted"
+	"repro/internal/sched"
+)
+
+// NextChargeEstimator is implemented by policies that can say when a
+// sensor is next scheduled to be charged. Redispatch uses it to detect
+// deadline pressure: a sensor predicted to die before its next
+// scheduled charge needs a rescue sortie now.
+type NextChargeEstimator interface {
+	// NextCharge returns the first time strictly after t at which the
+	// policy plans to charge sensor i, or +Inf if it never will.
+	NextCharge(i int, t float64) float64
+}
+
+// NextRoundEstimator is implemented by policies that can say when their
+// next dispatch of any kind happens. Redispatch uses it to defer cheap
+// piggyback top-ups: a pressured sensor that will still be alive at the
+// next round can be folded into that round's tours instead of this
+// one's.
+type NextRoundEstimator interface {
+	// NextRound returns the first time strictly after t at which the
+	// policy plans to dispatch tours, or +Inf if it never will.
+	NextRound(t float64) float64
+}
+
+// ScheduleReplay is the open-loop baseline policy: it replays a
+// precomputed schedule verbatim, dispatching each round at its recorded
+// time regardless of what the disturbed world does. Under RunDisturbed
+// it quantifies how brittle an undisturbed-optimal plan is — rounds
+// dropped during breakdowns and late arrivals surface as gap
+// violations. Wrapped in Redispatch it becomes the robust closed-loop
+// variant of the same plan.
+type ScheduleReplay struct {
+	// Schedule is the plan to replay; its round times must lie on the
+	// simulation's decision grid.
+	Schedule *sched.Schedule
+
+	chargeAt [][]float64
+	next     int
+}
+
+// Name implements Policy.
+func (p *ScheduleReplay) Name() string { return "replay" }
+
+// Init implements Policy: it verifies every round time sits on the
+// decision grid (within 1e-9) and indexes the schedule's charge times
+// for NextCharge.
+func (p *ScheduleReplay) Init(env *Env) error {
+	if p.Schedule == nil {
+		return fmt.Errorf("sim: ScheduleReplay needs a schedule")
+	}
+	const eps = 1e-9
+	for i, r := range p.Schedule.Rounds {
+		steps := math.Round(r.Time / env.Dt)
+		if math.Abs(r.Time-steps*env.Dt) > eps || r.Time <= 0 {
+			return fmt.Errorf("sim: replayed round %d at t=%g is off the Dt=%g decision grid", i, r.Time, env.Dt)
+		}
+		if i > 0 && r.Time < p.Schedule.Rounds[i-1].Time {
+			return fmt.Errorf("sim: replayed rounds out of order at %d (t=%g after t=%g)", i, r.Time, p.Schedule.Rounds[i-1].Time)
+		}
+	}
+	p.chargeAt = p.Schedule.ChargeTimes(env.Net.N())
+	p.next = 0
+	return nil
+}
+
+// Decide implements Policy: it returns the tours of every round whose
+// recorded time matches the current epoch.
+func (p *ScheduleReplay) Decide(env *Env, t float64) ([]rooted.Tour, error) {
+	const eps = 1e-9
+	var tours []rooted.Tour
+	for p.next < len(p.Schedule.Rounds) && p.Schedule.Rounds[p.next].Time <= t+eps {
+		if r := p.Schedule.Rounds[p.next]; math.Abs(r.Time-t) <= eps {
+			tours = append(tours, r.Tours...)
+		}
+		p.next++
+	}
+	return tours, nil
+}
+
+// NextCharge implements NextChargeEstimator from the replayed
+// schedule's charge times.
+func (p *ScheduleReplay) NextCharge(i int, t float64) float64 {
+	times := p.chargeAt[i]
+	k := sort.SearchFloat64s(times, t+1e-9)
+	if k == len(times) {
+		return math.Inf(1)
+	}
+	return times[k]
+}
+
+// NextRound implements NextRoundEstimator: the first round time strictly
+// after t, or +Inf past the schedule's end.
+func (p *ScheduleReplay) NextRound(t float64) float64 {
+	rounds := p.Schedule.Rounds
+	k := sort.Search(len(rounds), func(j int) bool { return rounds[j].Time > t+1e-9 })
+	if k == len(rounds) {
+		return math.Inf(1)
+	}
+	return rounds[k].Time
+}

@@ -68,7 +68,21 @@ type Env struct {
 
 	outages []Outage
 	now     float64
+	// requeued holds sensors stranded since the previous decision epoch
+	// — stops of tours a charger breakdown interrupted or a dropped
+	// dispatch never served. Populated by RunDisturbed only; cleared
+	// after every Decide.
+	requeued []int
 }
+
+// Requeued returns the sensors stranded since the previous decision
+// epoch: stops whose tour was interrupted by a charger breakdown, or
+// whose dispatch was dropped because its depot was down. The plain Run
+// never strands sensors, so the slice is only ever non-empty under
+// RunDisturbed. Policies that want to recover stranded sensors (see
+// Redispatch) should fold these into their next dispatch; the simulator
+// clears the list after every Decide call.
+func (e *Env) Requeued() []int { return e.requeued }
 
 // Now returns the current simulation time.
 func (e *Env) Now() float64 { return e.now }
@@ -142,6 +156,40 @@ type Result struct {
 	EnergyDelivered float64
 	// Charges is the number of sensor-charge events.
 	Charges int
+
+	// The remaining fields are populated by RunDisturbed only; the
+	// benign Run leaves them zero.
+
+	// GapViolations counts charge gaps (including each sensor's
+	// terminal gap to T) that exceeded the sensor's nominal maximum
+	// charging cycle τ_i.
+	GapViolations int
+	// NearMisses counts gaps within the near-miss fraction of τ_i
+	// (ate into the safety margin) without exceeding it.
+	NearMisses int
+	// MaxGapRatio is the worst observed gap/τ_i ratio across all
+	// sensors and gaps; > 1 means at least one violation.
+	MaxGapRatio float64
+	// Requeued counts sensor-instances stranded by breakdowns or
+	// dropped dispatches and handed back to the policy.
+	Requeued int
+	// InterruptedSorties counts in-flight tours cut short by a charger
+	// breakdown.
+	InterruptedSorties int
+	// DroppedTours counts dispatched tours discarded because their
+	// depot was down at dispatch time.
+	DroppedTours int
+	// TelemetryLost counts sensor reports that never reached the base
+	// station.
+	TelemetryLost int
+	// TelemetryLate counts sensor reports delivered at least one epoch
+	// after issue.
+	TelemetryLate int
+	// DrivenCost is the distance chargers actually drove: completed
+	// tours in full, interrupted ones up to the abort point plus the
+	// return leg. Under disturbance it differs from Schedule.Cost(),
+	// which prices the dispatched plans.
+	DrivenCost float64
 }
 
 // Cost returns the service cost of the run.
@@ -149,48 +197,13 @@ func (r Result) Cost() float64 { return r.Schedule.Cost() }
 
 // Run simulates policy over net under the given true-energy model.
 func Run(net *wsn.Network, model energy.Model, policy Policy, cfg Config) (Result, error) {
-	if cfg.T <= 0 {
-		return Result{}, fmt.Errorf("sim: Config.T must be positive, got %g", cfg.T)
-	}
-	dt := cfg.Dt
-	if dt == 0 {
-		dt = net.MinCycle()
-	}
-	if dt <= 0 {
-		return Result{}, fmt.Errorf("sim: Config.Dt must be positive, got %g", dt)
-	}
-	gamma := cfg.Gamma
-	if gamma == 0 {
-		gamma = 1
-	}
-	pred, err := energy.NewEWMA(net.N(), gamma)
+	env, err := newEnv(net, model, cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	if err := validateOutages(cfg.Outages, net.Q()); err != nil {
-		return Result{}, err
-	}
-	space := cfg.Space
-	if space == nil {
-		space = net.Space()
-	} else if space.Len() != net.Space().Len() {
-		return Result{}, fmt.Errorf("sim: Config.Space has %d points, network has %d", space.Len(), net.Space().Len())
-	}
-	env := &Env{
-		Net: net,
-		// Materialize short-circuits when the caller already passed a
-		// Dense, so the shared-space path does no O(n^2) copying here.
-		Space:    metric.Materialize(space),
-		Depots:   net.DepotIndices(),
-		Model:    model,
-		T:        cfg.T,
-		Dt:       dt,
-		Residual: make([]float64, net.N()),
-		Pred:     pred,
-		outages:  cfg.Outages,
-	}
-	for i, s := range net.Sensors {
-		env.Residual[i] = s.Capacity
+	dt := env.Dt
+	pred := env.Pred
+	for i := range net.Sensors {
 		pred.Observe(i, model.Rate(i, 0))
 	}
 	if err := policy.Init(env); err != nil {
@@ -259,20 +272,79 @@ func Run(net *wsn.Network, model energy.Model, policy Policy, cfg Config) (Resul
 	return res, nil
 }
 
-// validateOutages rejects malformed windows and configurations that
-// would leave the network with no charger at some instant.
-func validateOutages(outages []Outage, q int) error {
-	for i, o := range outages {
-		if o.Depot < 0 || o.Depot >= q {
-			return fmt.Errorf("sim: outage %d names depot %d, network has %d", i, o.Depot, q)
-		}
-		if o.To <= o.From {
-			return fmt.Errorf("sim: outage %d window [%g, %g) is empty", i, o.From, o.To)
-		}
+// newEnv validates cfg, applies its defaults and builds the initial
+// fully-charged world shared by Run and RunDisturbed. The predictor is
+// allocated but not seeded: each runner decides what the base station
+// initially observes.
+func newEnv(net *wsn.Network, model energy.Model, cfg Config) (*Env, error) {
+	if cfg.T <= 0 {
+		return nil, fmt.Errorf("sim: Config.T must be positive, got %g", cfg.T)
 	}
-	// At least one depot must survive every instant; overlaps only
-	// matter at window starts.
-	for i, o := range outages {
+	dt := cfg.Dt
+	if dt == 0 {
+		dt = net.MinCycle()
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("sim: Config.Dt must be positive, got %g", dt)
+	}
+	gamma := cfg.Gamma
+	if gamma == 0 {
+		gamma = 1
+	}
+	pred, err := energy.NewEWMA(net.N(), gamma)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateOutages(cfg.Outages, net.Q()); err != nil {
+		return nil, err
+	}
+	space := cfg.Space
+	if space == nil {
+		space = net.Space()
+	} else if space.Len() != net.Space().Len() {
+		return nil, fmt.Errorf("sim: Config.Space has %d points, network has %d", space.Len(), net.Space().Len())
+	}
+	env := &Env{
+		Net: net,
+		// Materialize short-circuits when the caller already passed a
+		// Dense, so the shared-space path does no O(n^2) copying here.
+		Space:    metric.Materialize(space),
+		Depots:   net.DepotIndices(),
+		Model:    model,
+		T:        cfg.T,
+		Dt:       dt,
+		Residual: make([]float64, net.N()),
+		Pred:     pred,
+		outages:  cfg.Outages,
+	}
+	for i, s := range net.Sensors {
+		env.Residual[i] = s.Capacity
+	}
+	return env, nil
+}
+
+// AllDepotsDownError reports a Config.Outages set that violates the
+// documented invariant "at least one depot must remain active at every
+// instant": at time T all Q depots are inside an outage window, so no
+// charger exists and the scheduling problem is undefined.
+type AllDepotsDownError struct {
+	// T is an instant at which every depot is down.
+	T float64
+	// Q is the network's depot count.
+	Q int
+}
+
+// Error implements the error interface.
+func (e *AllDepotsDownError) Error() string {
+	return fmt.Sprintf("sim: all %d depots down at t=%g; at least one depot must remain active at every instant", e.Q, e.T)
+}
+
+// allDownAt scans the outage windows for an instant at which every one
+// of the q depots is inside some window. Coverage counts can only
+// change at window starts, so checking each start suffices. It returns
+// the first violating start in scan order, or ok=false.
+func allDownAt(outages []Outage, q int) (at float64, ok bool) {
+	for _, o := range outages {
 		down := 0
 		seen := make(map[int]bool)
 		for _, p := range outages {
@@ -282,8 +354,26 @@ func validateOutages(outages []Outage, q int) error {
 			}
 		}
 		if down >= q {
-			return fmt.Errorf("sim: all %d depots down at t=%g (outage %d)", q, o.From, i)
+			return o.From, true
 		}
+	}
+	return 0, false
+}
+
+// validateOutages rejects malformed windows and configurations that
+// would leave the network with no charger at some instant (the latter
+// as an *AllDepotsDownError).
+func validateOutages(outages []Outage, q int) error {
+	for i, o := range outages {
+		if o.Depot < 0 || o.Depot >= q {
+			return fmt.Errorf("sim: outage %d names depot %d, network has %d", i, o.Depot, q)
+		}
+		if o.To <= o.From {
+			return fmt.Errorf("sim: outage %d window [%g, %g) is empty", i, o.From, o.To)
+		}
+	}
+	if at, bad := allDownAt(outages, q); bad {
+		return &AllDepotsDownError{T: at, Q: q}
 	}
 	return nil
 }

@@ -27,6 +27,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/disturb"
 	"repro/internal/energy"
 	"repro/internal/experiment"
 	"repro/internal/geom"
@@ -124,6 +125,49 @@ type (
 	// Policy decides when and whom to charge in a simulation.
 	Policy = sim.Policy
 )
+
+// Stochastic disturbance and robust planning.
+type (
+	// DisturbModel is the physical-disturbance interface disturbed
+	// simulations query (travel noise, breakdowns, drift, telemetry).
+	DisturbModel = disturb.Model
+	// DisturbParams are the facet magnitudes of the standard composite
+	// disturbance at intensity 1.
+	DisturbParams = disturb.Params
+	// DisturbedConfig configures a disturbed simulation run.
+	DisturbedConfig = sim.Disturbed
+	// ReplayPolicy replays a precomputed schedule open-loop — the
+	// brittleness baseline for robustness studies.
+	ReplayPolicy = sim.ScheduleReplay
+	// RedispatchPolicy hardens a base policy with breakdown re-rooting,
+	// stranded-sensor recovery and deadline-pressure rescues.
+	RedispatchPolicy = sim.Redispatch
+)
+
+// Rand is a deterministic splittable random stream (see NewRand).
+type Rand = rng.Source
+
+// NoDisturbance is the benign world: every disturbance factor neutral.
+var NoDisturbance = disturb.None
+
+// DefaultDisturbParams returns the reference disturbance magnitudes the
+// robustness harness sweeps from.
+func DefaultDisturbParams() DisturbParams { return disturb.DefaultParams() }
+
+// StandardDisturbance builds the standard composite disturbance (travel
+// noise + breakdowns + consumption drift + telemetry degradation) at
+// the given intensity; 0 yields the benign world.
+func StandardDisturbance(r *rng.Source, intensity float64, p DisturbParams) DisturbModel {
+	return disturb.Standard(r, intensity, p)
+}
+
+// SimulateDisturbed runs a charging policy inside the stochastic world
+// d describes: disturbed travel times, mid-tour charger breakdowns,
+// consumption drift and degraded telemetry, with gap-violation and
+// near-miss accounting in the result.
+func SimulateDisturbed(net *Network, model EnergyModel, policy Policy, cfg SimConfig, d DisturbedConfig) (SimResult, error) {
+	return sim.RunDisturbed(net, model, policy, cfg, d)
+}
 
 // Experiments.
 type (

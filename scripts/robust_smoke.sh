@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# robust_smoke.sh — end-to-end smoke test of the disturbance subsystem.
+#
+# Runs a tiny Monte-Carlo robustness sweep (cmd/robust) on the smoke
+# topology under the race detector and asserts that the slack-aware
+# plan with re-dispatch loses zero sensors at ε=0.1 — the perpetual-
+# operation guarantee must survive travel noise, charger breakdowns,
+# consumption drift and telemetry loss, not just the clean replay the
+# goldens cover. The committed ROBUST_pr9.json baseline records the
+# real n=150, T=240 numbers with the full reduction/inflation gates;
+# this smoke is sized for CI runners (seconds, not minutes). Tunables
+# via environment:
+#
+#   ROBUST_N, ROBUST_Q     topology size          (default 25 sensors, 3 depots)
+#   ROBUST_T               monitoring period      (default 60)
+#   ROBUST_REPS            topologies per cell    (default 2)
+#   ROBUST_INTENSITIES     disturbance sweep      (default 0.5,1)
+#   ROBUST_EPS             planning slack sweep   (default 0.1)
+#   ROBUST_OUT             also keep the JSON     (default: discard)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${ROBUST_N:-25}"
+Q="${ROBUST_Q:-3}"
+T="${ROBUST_T:-60}"
+REPS="${ROBUST_REPS:-2}"
+INTENSITIES="${ROBUST_INTENSITIES:-0.5,1}"
+EPS="${ROBUST_EPS:-0.1}"
+OUT="${ROBUST_OUT:-}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+json="$tmp/robust.json"
+go run -race ./cmd/robust -n "$N" -q "$Q" -T "$T" -reps "$REPS" \
+    -intensities "$INTENSITIES" -eps "$EPS" -maxdeaths 0 \
+    -label smoke -o "$json"
+
+if [ -n "$OUT" ]; then
+    cp "$json" "$OUT"
+    echo "robust_smoke: wrote $OUT" >&2
+fi
+echo "robust_smoke: OK (zero deaths at eps=$EPS under intensities $INTENSITIES)" >&2
