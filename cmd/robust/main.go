@@ -18,9 +18,16 @@
 // It reports P(gap > τ_i) (gap violations per closed gap), sensor
 // deaths, and cost inflation as a benchfmt-style JSON document, and can
 // gate (non-zero exit) on a minimum violation-reduction factor, a
-// maximum cost inflation, and a maximum robust death count — the CI
-// smoke runs exactly that. Identical seeds produce byte-identical JSON
-// regardless of -workers.
+// maximum cost inflation, a maximum robust death count, and (for the CI
+// smoke) wall-clock and heap budgets. Identical seeds produce
+// byte-identical sweep JSON regardless of -workers (cells in parallel)
+// and -reps-workers (the baseline and ε runs of one cell in parallel);
+// only the timing block at the end varies.
+//
+// The artifact's "benchmarks" block uses the benchfmt.Result schema, so
+// a committed ROBUST_*.json doubles as a benchfmt baseline: cmd/bench
+// -compare ratchets its ns-per-run and heap footprint exactly like the
+// planner benches.
 //
 // Example:
 //
@@ -32,10 +39,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/disturb"
 	"repro/internal/energy"
@@ -44,6 +54,18 @@ import (
 	"repro/internal/sim"
 	"repro/internal/wsn"
 )
+
+// runDisturbed is the simulator entry point runCell drives; a variable
+// so the equivalence test can swap in sim.RunDisturbedReference and
+// replay an entire sweep through the retained reference runner.
+var runDisturbed = sim.RunDisturbed
+
+// scratchPool recycles simulation arenas across every run the harness
+// performs: a worker that finishes one replication hands its Scratch
+// (residual buffers, event heap, flight blocks, k-NN marks) to the next
+// instead of regrowing them from nil. sim pins that a reused arena is
+// byte-identical to a fresh one, so pooling is invisible in the output.
+var scratchPool = sync.Pool{New: func() any { return sim.NewScratch() }}
 
 func main() {
 	var (
@@ -59,13 +81,16 @@ func main() {
 		intenStr = flag.String("intensities", "0.5,1,2", "comma-separated disturbance intensities")
 		epsStr   = flag.String("eps", "0.1", "comma-separated slack values ε")
 		reps     = flag.Int("reps", 8, "Monte-Carlo repetitions per cell")
-		workers  = flag.Int("workers", 4, "parallel cell workers (output is identical for any value)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel cell workers (output is identical for any value)")
+		repsWork = flag.Int("reps-workers", 1, "parallel replication workers inside each cell (output is identical for any value)")
 		label    = flag.String("label", "robust", "baseline label stamped into the JSON")
 		outPath  = flag.String("o", "", "output file (default stdout)")
 		gate     = flag.Float64("gate", 0, "fail unless every gated intensity's violation-reduction factor is at least this (0 disables)")
 		maxInfl  = flag.Float64("maxinflation", 0, "fail if a gated robust row's cost inflation exceeds this (0 disables)")
 		maxDeath = flag.Int("maxdeaths", -1, "fail if gated robust rows accumulate more than this many deaths (-1 disables)")
 		gateAt   = flag.Float64("gateintensity", 0, "apply the gates only at this intensity; 0 gates every swept intensity")
+		maxWall  = flag.Int64("maxwallms", 0, "fail if the sweep's wall-clock exceeds this many milliseconds (0 disables)")
+		maxHeap  = flag.Int64("maxheapbytes", 0, "fail if the post-sweep heap footprint exceeds this many bytes (0 disables)")
 	)
 	flag.Parse()
 
@@ -83,16 +108,31 @@ func main() {
 	if *workers < 1 {
 		*workers = 1
 	}
+	if *repsWork < 1 {
+		*repsWork = 1
+	}
 
 	cfg := sweepConfig{
 		N: *n, Q: *q, T: *T, TauMin: *tauMin, TauMax: *tauMax, Sigma: *sigma,
 		Dt: *dt, Seed: *seed, Speed: *speed, Reps: *reps,
 		Intensities: intensities, Eps: epsList,
 	}
-	file, err := runSweep(cfg, *workers, *label)
+	start := time.Now() //lint:allow walltime the sweep's wall-clock is the published measurement
+	file, err := runSweep(cfg, *workers, *repsWork, *label)
 	if err != nil {
 		fatal("%v", err)
 	}
+	wall := time.Since(start) //lint:allow walltime the sweep's wall-clock is the published measurement
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	runs := len(intensities) * *reps * (1 + len(epsList))
+	file.Benchmarks = append(file.Benchmarks, benchfmt.Result{
+		Name:       fmt.Sprintf("RobustSweep/n=%d/q=%d/T=%g/dt=%g", *n, *q, *T, *dt),
+		Runs:       1,
+		Iterations: runs,
+		NsPerOp:    float64(wall.Nanoseconds()) / float64(runs),
+		HeapBytes:  float64(ms.HeapSys),
+	})
 
 	out := os.Stdout
 	if *outPath != "" {
@@ -110,6 +150,14 @@ func main() {
 	}
 
 	failed := false
+	if *maxWall > 0 && wall.Milliseconds() > *maxWall {
+		fmt.Fprintf(os.Stderr, "robust: GATE wall-clock %d ms > allowed %d ms\n", wall.Milliseconds(), *maxWall)
+		failed = true
+	}
+	if *maxHeap > 0 && ms.HeapSys > uint64(*maxHeap) {
+		fmt.Fprintf(os.Stderr, "robust: GATE heap footprint %d bytes > allowed %d bytes\n", ms.HeapSys, *maxHeap)
+		failed = true
+	}
 	for _, g := range file.Gates {
 		if *gateAt > 0 && g.Intensity != *gateAt { //lint:allow floateq comparing a flag value against itself
 			continue
@@ -202,6 +250,7 @@ type gateRow struct {
 
 // outFile is the benchfmt-style artifact: schema + label header,
 // parameters, per-cell rows, gate comparisons and the obs counter dump.
+// Schema 3 (this layout) added the timing block.
 type outFile struct {
 	SchemaVersion int         `json:"schema_version"`
 	Label         string      `json:"label"`
@@ -211,6 +260,12 @@ type outFile struct {
 	// Counters is the deterministic text exposition of the run's
 	// internal/obs robustness counters, split into lines.
 	Counters []string `json:"counters"`
+	// Benchmarks is the sweep's timing block — mean wall-clock ns per
+	// simulated run plus the post-sweep heap footprint — under the
+	// benchfmt.Result schema and json key, so the artifact decodes as a
+	// benchfmt.File and cmd/bench -compare can ratchet it. main fills
+	// it in after runSweep returns; everything above it is seed-pure.
+	Benchmarks []benchfmt.Result `json:"benchmarks,omitempty"`
 }
 
 // cellResult is one simulated run's contribution to a row.
@@ -222,7 +277,7 @@ type cellResult struct {
 	err      error
 }
 
-func runSweep(cfg sweepConfig, workers int, label string) (*outFile, error) {
+func runSweep(cfg sweepConfig, workers, repsWorkers int, label string) (*outFile, error) {
 	root := rng.New(cfg.Seed)
 	reg := obs.NewRegistry()
 
@@ -245,7 +300,7 @@ func runSweep(cfg sweepConfig, workers int, label string) (*outFile, error) {
 			for j := range jobs {
 				xi, rep := j/cfg.Reps, j%cfg.Reps
 				outs[j] = jobOut{robust: make([]cellResult, len(cfg.Eps))}
-				runCell(cfg, root, xi, rep, reg, &outs[j].base, outs[j].robust)
+				runCell(cfg, root, xi, rep, reg, repsWorkers, &outs[j].base, outs[j].robust)
 			}
 		}()
 	}
@@ -255,7 +310,7 @@ func runSweep(cfg sweepConfig, workers int, label string) (*outFile, error) {
 	close(jobs)
 	wg.Wait()
 
-	file := &outFile{SchemaVersion: 2, Label: label, Config: cfg}
+	file := &outFile{SchemaVersion: 3, Label: label, Config: cfg}
 	for xi, x := range cfg.Intensities {
 		var base row
 		base.Intensity, base.Policy, base.Eps = x, "replay", 0
@@ -297,8 +352,12 @@ func runSweep(cfg sweepConfig, workers int, label string) (*outFile, error) {
 
 // runCell simulates one (intensity, rep) cell: the shared topology and
 // disturbance realization, the baseline replay and every ε's robust
-// run.
-func runCell(cfg sweepConfig, root *rng.Source, xi, rep int, reg *obs.Registry, base *cellResult, robust []cellResult) {
+// run. The cell's 1+len(eps) policy runs are independent — each plans
+// its own schedule and instantiates its own disturbance model from the
+// shared (pure, race-safe) split seed against the read-only topology —
+// so repsWorkers > 1 executes them concurrently, each run drawing a
+// pooled Scratch arena.
+func runCell(cfg sweepConfig, root *rng.Source, xi, rep int, reg *obs.Registry, repsWorkers int, base *cellResult, robust []cellResult) {
 	x := cfg.Intensities[xi]
 	net, err := wsn.Generate(root.Split(1, uint64(rep)), wsn.GenConfig{
 		N: cfg.N, Q: cfg.Q,
@@ -315,39 +374,66 @@ func runCell(cfg sweepConfig, root *rng.Source, xi, rep int, reg *obs.Registry, 
 	// factors are per-dispatch labels, so those differ where the
 	// dispatch patterns do).
 	disturbSeed := root.Split(2, uint64(xi), uint64(rep))
-	newDist := func() sim.Disturbed {
-		return sim.Disturbed{
-			Model: disturb.Standard(disturbSeed, x, disturb.DefaultParams()),
-			Speed: cfg.Speed,
-			Obs:   reg,
+
+	// Unit 0 is the baseline replay; unit u > 0 is cfg.Eps[u-1]'s
+	// robust variant. Each writes only its own result slot.
+	runUnit := func(u int) {
+		sc := scratchPool.Get().(*sim.Scratch)
+		defer scratchPool.Put(sc)
+		d := sim.Disturbed{
+			Model:   disturb.Standard(disturbSeed, x, disturb.DefaultParams()),
+			Speed:   cfg.Speed,
+			Obs:     reg,
+			Scratch: sc,
 		}
-	}
-
-	plan0, err := core.PlanFixed(net, cfg.T, core.FixedOptions{AlignTau1: cfg.Dt})
-	if err != nil {
-		base.err = err
-		return
-	}
-	res, err := sim.RunDisturbed(net, model, &sim.ScheduleReplay{Schedule: plan0.Schedule}, simCfg, newDist())
-	base.res, base.planned, base.err = res, plan0.Cost(), err
-	if base.err != nil {
-		return
-	}
-
-	for ei, eps := range cfg.Eps {
+		if u == 0 {
+			plan0, err := core.PlanFixed(net, cfg.T, core.FixedOptions{AlignTau1: cfg.Dt})
+			if err != nil {
+				base.err = err
+				return
+			}
+			res, err := runDisturbed(net, model, &sim.ScheduleReplay{Schedule: plan0.Schedule}, simCfg, d)
+			base.res, base.planned, base.err = res, plan0.Cost(), err
+			return
+		}
+		eps := cfg.Eps[u-1]
 		planE, err := core.PlanFixed(net, cfg.T, core.FixedOptions{Slack: eps, AlignTau1: cfg.Dt})
 		if err != nil {
-			robust[ei].err = err
+			robust[u-1].err = err
 			return
 		}
 		pol := &sim.Redispatch{Inner: &sim.ScheduleReplay{Schedule: planE.Schedule}}
-		res, err := sim.RunDisturbed(net, model, pol, simCfg, newDist())
-		robust[ei].res, robust[ei].planned, robust[ei].err = res, planE.Cost(), err
-		robust[ei].rescued, robust[ei].inserted = pol.Rescued, pol.Inserted
-		if robust[ei].err != nil {
-			return
-		}
+		res, err := runDisturbed(net, model, pol, simCfg, d)
+		robust[u-1].res, robust[u-1].planned, robust[u-1].err = res, planE.Cost(), err
+		robust[u-1].rescued, robust[u-1].inserted = pol.Rescued, pol.Inserted
 	}
+
+	units := 1 + len(cfg.Eps)
+	if repsWorkers <= 1 {
+		for u := 0; u < units; u++ {
+			runUnit(u)
+		}
+		return
+	}
+	if repsWorkers > units {
+		repsWorkers = units
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < repsWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				runUnit(u)
+			}
+		}()
+	}
+	for u := 0; u < units; u++ {
+		work <- u
+	}
+	close(work)
+	wg.Wait()
 }
 
 // accumulate folds one run into its sweep row; n is the sensor count

@@ -16,9 +16,9 @@ func tinySweep() sweepConfig {
 	}
 }
 
-func marshalSweep(t *testing.T, workers int) []byte {
+func marshalSweep(t *testing.T, workers, repsWorkers int) []byte {
 	t.Helper()
-	file, err := runSweep(tinySweep(), workers, "det")
+	file, err := runSweep(tinySweep(), workers, repsWorkers, "det")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,19 +31,28 @@ func marshalSweep(t *testing.T, workers int) []byte {
 
 // TestSweepDeterministicAcrossWorkers is the acceptance determinism
 // check: the JSON artifact must be byte-identical whether cells run on
-// one worker or eight, and across repeated runs of the same seed
-// (exercised via -count=2 in CI).
+// one worker or eight, whether a cell's own runs execute serially or on
+// parallel replication workers, and across repeated runs of the same
+// seed (exercised via -count=2 in CI). The parallel shapes also feed
+// the CI -race run: cells and intra-cell replications race-detect the
+// shared topology, split seeds, obs registry and Scratch pool.
 func TestSweepDeterministicAcrossWorkers(t *testing.T) {
-	one := marshalSweep(t, 1)
-	eight := marshalSweep(t, 8)
+	one := marshalSweep(t, 1, 1)
+	eight := marshalSweep(t, 8, 1)
 	if !bytes.Equal(one, eight) {
 		t.Errorf("workers=1 and workers=8 artifacts differ:\n%s\n---\n%s", one, eight)
+	}
+	for _, rw := range []int{2, 8} {
+		par := marshalSweep(t, 2, rw)
+		if !bytes.Equal(one, par) {
+			t.Errorf("reps-workers=%d artifact differs from serial:\n%s\n---\n%s", rw, one, par)
+		}
 	}
 }
 
 func TestSweepRowsAndGatesShape(t *testing.T) {
 	cfg := tinySweep()
-	file, err := runSweep(cfg, 4, "shape")
+	file, err := runSweep(cfg, 4, 2, "shape")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -89,6 +89,45 @@ type Model interface {
 	Windows(q int, T float64) []Window
 }
 
+// RateMultiplier is the optional batch form of Model.RateFactor. A
+// model that can factor whole-network rate queries more cheaply than n
+// point queries (sharing the per-step setup, skipping facets it does
+// not disturb) implements it; RateFactors detects and uses it.
+//
+// MulRateFactors must multiply dst[i] by exactly RateFactor(i, t) for
+// every i — bit-identical, since the disturbed simulator's telemetry
+// and its residual engine must see the same world.
+type RateMultiplier interface {
+	MulRateFactors(dst []float64, t float64)
+}
+
+// RateFactors fills dst with every sensor's rate factor at time t —
+// dst[i] = m.RateFactor(i, t) — through each component's batch path
+// where one exists. The result is bit-identical to n point queries:
+// dst starts at the multiplicative identity and components multiply in
+// exactly Compose.RateFactor's order.
+func RateFactors(m Model, dst []float64, t float64) {
+	for i := range dst {
+		dst[i] = 1
+	}
+	mulRateFactors(m, dst, t)
+}
+
+func mulRateFactors(m Model, dst []float64, t float64) {
+	switch mm := m.(type) {
+	case Compose:
+		for _, c := range mm {
+			mulRateFactors(c, dst, t)
+		}
+	case RateMultiplier:
+		mm.MulRateFactors(dst, t)
+	default:
+		for i := range dst {
+			dst[i] *= m.RateFactor(i, t)
+		}
+	}
+}
+
 // Identity is the all-quiet disturbance: every factor 1, no breakdowns,
 // telemetry on time. Concrete models embed it and override the facets
 // they disturb, so each stays a few lines — the LosslessNetwork idiom.
@@ -102,6 +141,11 @@ func (Identity) TravelFactor(epoch, tour, leg int) float64 { return 1 }
 
 // RateFactor implements Model: the energy model is the truth.
 func (Identity) RateFactor(i int, t float64) float64 { return 1 }
+
+// MulRateFactors implements RateMultiplier: multiplying by 1 is the
+// identity, so facets that leave consumption alone (and every model
+// embedding Identity without overriding RateFactor) batch for free.
+func (Identity) MulRateFactors(dst []float64, t float64) {}
 
 // RateStep implements Model.
 func (Identity) RateStep() float64 { return math.Inf(1) }

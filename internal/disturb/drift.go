@@ -91,6 +91,30 @@ func (d *Drift) RateFactor(i int, t float64) float64 {
 	return f
 }
 
+// MulRateFactors implements RateMultiplier: the per-query step
+// derivation is shared across the whole network and each sensor's
+// walk/burst factor — the same product RateFactor returns — multiplies
+// in. Drift overrides Identity's no-op because it is the one facet
+// that actually disturbs consumption.
+func (d *Drift) MulRateFactors(dst []float64, t float64) {
+	step := int(t / d.cfg.Step)
+	if step < 0 {
+		step = 0
+	}
+	for i := range dst {
+		f := 1.0
+		if d.cfg.Sigma > 0 {
+			f = math.Exp(d.walkAt(i, step))
+		}
+		if d.cfg.BurstProb > 0 {
+			if d.bst.Split(uint64(i), uint64(step)).Float64() < d.cfg.BurstProb {
+				f *= d.cfg.BurstMag
+			}
+		}
+		dst[i] *= f
+	}
+}
+
 // walkAt returns W_i at the given step, extending sensor i's memoized
 // prefix sums as needed. Increment s is drawn from the (sensor, step)
 // split stream, so the walk's value is independent of visit order.

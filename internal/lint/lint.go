@@ -233,11 +233,15 @@ func Analyzers() []*Analyzer {
 	// Arena-disciplined scopes: the hot algorithm packages whose loops
 	// must allocate through Scratch/arena types (hotalloc); unlike `hot`
 	// this excludes internal/core, whose per-round driver loops are
-	// round-scoped, not per-sensor.
+	// round-scoped, not per-sensor. internal/sim joined when the
+	// disturbed runner went event-driven: its epoch loop now reuses one
+	// sim.Scratch across Monte-Carlo replications, so a stray per-epoch
+	// allocation would silently undo the arena.
 	arena := []string{
 		"repro/internal/delta",
 		"repro/internal/metric",
 		"repro/internal/rooted",
+		"repro/internal/sim",
 		"repro/internal/tsp",
 	}
 	return []*Analyzer{

@@ -185,6 +185,10 @@ type Coords struct {
 // Len returns the number of points in the view.
 func (c Coords) Len() int { return len(c.xs) }
 
+// At returns the planar coordinates of local point i — the query form
+// geometric anchors (GridIndex.NearestTo) take.
+func (c Coords) At(i int) (x, y float64) { return c.xs[i], c.ys[i] }
+
 // Dist returns the Euclidean distance between local points i and j.
 func (c Coords) Dist(i, j int) float64 {
 	return math.Hypot(c.xs[i]-c.xs[j], c.ys[i]-c.ys[j])

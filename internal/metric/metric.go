@@ -48,6 +48,8 @@ type Matrix struct {
 
 // NewMatrix validates and wraps an explicit distance matrix. It returns an
 // error if d is not square, not symmetric, or has a nonzero diagonal.
+//
+//lint:allow hotalloc construction-time validation: allocates only to reject a malformed matrix
 func NewMatrix(d [][]float64) (Matrix, error) {
 	n := len(d)
 	for i, row := range d {
@@ -178,6 +180,7 @@ func MaterializeInto(sp Space, dst *Dense) {
 // O(n^3) and intended for tests.
 //
 //lint:allow hotdist test-only O(n³) validation, never on a planning path
+//lint:allow hotalloc test-only validation: allocates only to report a violation
 func CheckTriangle(sp Space, eps float64) error {
 	n := sp.Len()
 	for i := 0; i < n; i++ {

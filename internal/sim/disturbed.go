@@ -30,6 +30,10 @@ type Disturbed struct {
 	// (robust_gap_violations_total, robust_deaths_total, ...) at the
 	// end of the run.
 	Obs *obs.Registry
+	// Scratch, if non-nil, is the per-run arena to carve working state
+	// from; Monte-Carlo harnesses reuse one per worker across
+	// replications. nil allocates fresh state (identical results).
+	Scratch *Scratch
 }
 
 // flight is one charger sortie in the air: a dispatched tour with its
@@ -64,11 +68,33 @@ type report struct {
 // and near misses are accounted against the network's nominal maximum
 // charging cycles.
 //
+// The run is event-driven: pending arrivals live in a binary heap
+// merged with the breakdown-start stream, residual energy integrates
+// lazily (residEngine), and Redispatch inspects only sensors whose
+// pressure horizon has expired — total work is O(events·log +
+// n·rate-slots), not O(events·n). RunDisturbedReference retains the
+// time-stepped scanning structure; the two are bit-identical (see the
+// equivalence suite in equiv_test.go and DESIGN.md §17).
+//
 // Determinism: for a fixed (net, model, policy, cfg, d) the run is a
 // pure function — the disturbance realization is seeded, events are
 // processed in (time, kind, dispatch-order) order, and no wall clock is
 // consulted — so repeated runs are bit-identical.
 func RunDisturbed(net *wsn.Network, model energy.Model, policy Policy, cfg Config, d Disturbed) (Result, error) {
+	return runDisturbed(net, model, policy, cfg, d, false)
+}
+
+// RunDisturbedReference is the retained reference implementation of
+// RunDisturbed: per-event linear scans over in-flight sorties and
+// full-network policy inspection, the PR 9 control flow. It exists to
+// pin the event-driven runner — both must produce bit-identical
+// results for any input — and for that purpose only; it is O(events·n)
+// and unfit for large networks.
+func RunDisturbedReference(net *wsn.Network, model energy.Model, policy Policy, cfg Config, d Disturbed) (Result, error) {
+	return runDisturbed(net, model, policy, cfg, d, true)
+}
+
+func runDisturbed(net *wsn.Network, model energy.Model, policy Policy, cfg Config, d Disturbed, ref bool) (Result, error) {
 	dm := d.Model
 	if dm == nil {
 		dm = disturb.None
@@ -83,15 +109,31 @@ func RunDisturbed(net *wsn.Network, model energy.Model, policy Policy, cfg Confi
 	if nearMiss < 0 || nearMiss >= 1 {
 		return Result{}, fmt.Errorf("sim: Disturbed.NearMissFrac must be in [0, 1), got %g", d.NearMissFrac)
 	}
-	env, err := newEnv(net, model, cfg)
+	sc := d.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.resetRun()
+	env, err := newEnv(net, model, cfg, sc)
 	if err != nil {
 		return Result{}, err
 	}
 	dt := env.Dt
 	pred := env.Pred
+	n := net.N()
+
+	res := Result{
+		Schedule:   &sched.Schedule{T: cfg.T},
+		FirstDeath: -1,
+	}
+	env.eng = newResidEngine(env, dm, sc, &res)
+	env.lazyInspect = !ref
+
 	// The base station starts with the deployment-time ground truth.
+	rates := growF64(&sc.rates, n)
+	disturb.RateFactors(dm, rates, 0)
 	for i := range net.Sensors {
-		pred.Observe(i, model.Rate(i, 0)*dm.RateFactor(i, 0))
+		pred.Observe(i, model.Rate(i, 0)*rates[i])
 	}
 
 	// Fold the model's breakdown windows into the user's outages,
@@ -106,15 +148,23 @@ func RunDisturbed(net *wsn.Network, model energy.Model, policy Policy, cfg Confi
 		return Result{}, fmt.Errorf("sim: policy %s init: %w", policy.Name(), err)
 	}
 
-	res := Result{
-		Schedule:   &sched.Schedule{T: cfg.T},
-		FirstDeath: -1,
-	}
 	cycles := net.Cycles()
-	lastCharge := make([]float64, net.N())
-	dead := make([]bool, net.N())
-	var flights []*flight
-	pending := make(map[int][]report)
+	lastCharge := growF64(&sc.lastCharge, n)
+	for i := range lastCharge {
+		lastCharge[i] = 0
+	}
+	var flights []*flight // reference mode's scan list
+	var es *eventState    // event mode's queues
+	if ref {
+		flights = sc.flights[:0]
+	} else {
+		es = newEventState(sc, net.Q())
+	}
+	pending := sc.resetPending()
+	activeB := growBool(&sc.activeB, env.Space.Len())
+	for i := range activeB {
+		activeB[i] = false
+	}
 	dispatched := 0
 	const eps = 1e-9
 
@@ -141,9 +191,14 @@ func RunDisturbed(net *wsn.Network, model energy.Model, policy Policy, cfg Confi
 		if last {
 			to = cfg.T
 		}
-		// Advance the world over [from, to): consumption, charger
-		// arrivals and breakdown interruptions in event order.
-		flights = sweep(env, dm, flights, breakStarts, from, to, dead, &res, closeGap)
+		// Advance the world over [from, to): charger arrivals and
+		// breakdown interruptions in event order. Consumption needs no
+		// advancing — the residual engine integrates lazily.
+		if ref {
+			flights = sweepRef(env, flights, breakStarts, from, to, &res, closeGap)
+		} else {
+			es.sweep(env, breakStarts, from, to, &res, closeGap)
+		}
 		if last {
 			break
 		}
@@ -151,9 +206,10 @@ func RunDisturbed(net *wsn.Network, model energy.Model, policy Policy, cfg Confi
 
 		// Telemetry: deliver overdue reports first (stale values, in
 		// issue order), then this epoch's observations.
-		deliverDue(pred, pending, step)
+		deliverDue(pred, pending, step, sc)
+		disturb.RateFactors(dm, rates, t)
 		for i := range net.Sensors {
-			v := model.Rate(i, t) * dm.RateFactor(i, t)
+			v := model.Rate(i, t) * rates[i]
 			switch delay := dm.ObsDelay(i, step); {
 			case delay == disturb.Lost:
 				res.TelemetryLost++
@@ -167,16 +223,16 @@ func RunDisturbed(net *wsn.Network, model energy.Model, policy Policy, cfg Confi
 
 		tours, err := policy.Decide(env, t)
 		if err != nil {
-			return Result{}, fmt.Errorf("sim: policy %s at t=%g: %w", policy.Name(), t, err)
+			return Result{}, policyErr(policy.Name(), t, err)
 		}
 		env.requeued = env.requeued[:0]
 		res.Epochs++
 		if len(tours) == 0 {
 			continue
 		}
-		active := make(map[int]bool)
-		for _, a := range env.ActiveDepots() {
-			active[a] = true
+		acts := env.ActiveDepots()
+		for _, a := range acts {
+			activeB[a] = true
 		}
 		var kept []rooted.Tour
 		for _, tour := range tours {
@@ -185,15 +241,15 @@ func RunDisturbed(net *wsn.Network, model energy.Model, policy Policy, cfg Confi
 			}
 			if check.Enabled {
 				if err := check.Tour(env.Space.Len(), tour.Depot, tour.Stops); err != nil {
-					return Result{}, fmt.Errorf("sim: policy %s at t=%g: %w", policy.Name(), t, err)
+					return Result{}, policyErr(policy.Name(), t, err)
 				}
 			}
 			for _, id := range tour.Stops {
-				if id < 0 || id >= net.N() {
-					return Result{}, fmt.Errorf("sim: policy %s charged invalid sensor index %d", policy.Name(), id)
+				if id < 0 || id >= n {
+					return Result{}, badSensorErr(policy.Name(), id)
 				}
 			}
-			if !active[tour.Depot] {
+			if !activeB[tour.Depot] {
 				// A breakdown the policy did not react to: the sortie
 				// never leaves. Its sensors are stranded.
 				res.DroppedTours++
@@ -204,12 +260,19 @@ func RunDisturbed(net *wsn.Network, model energy.Model, policy Policy, cfg Confi
 			fl := launch(env, dm, tour, step, dispatched, t, d.Speed)
 			if check.Enabled {
 				if err := check.Arrivals(t, fl.arrive); err != nil {
-					return Result{}, fmt.Errorf("sim: at t=%g: %w", t, err)
+					return Result{}, arrivalsErr(t, err)
 				}
 			}
 			dispatched++
-			flights = append(flights, fl)
+			if ref {
+				flights = append(flights, fl)
+			} else {
+				es.add(fl)
+			}
 			kept = append(kept, tour)
+		}
+		for _, a := range acts {
+			activeB[a] = false
 		}
 		if len(kept) > 0 {
 			res.Schedule.Rounds = append(res.Schedule.Rounds, sched.Round{Time: t, Tours: kept})
@@ -218,9 +281,19 @@ func RunDisturbed(net *wsn.Network, model energy.Model, policy Policy, cfg Confi
 
 	// Sorties still in the air at T drive home; stops not reached by T
 	// are not charged.
-	for _, fl := range flights {
-		abortFlight(env, fl, &res)
+	if ref {
+		for _, fl := range flights {
+			abortFlight(env, fl, &res)
+		}
+		sc.flights = flights[:0]
+	} else {
+		for _, fl := range es.all {
+			abortFlight(env, fl, &res)
+		}
 	}
+	// Materialize every sensor's terminal residual: deaths hiding in
+	// yet-uncommitted segments are recorded here.
+	env.eng.finalize(cfg.T)
 	// Terminal gaps: every sensor must also survive from its last
 	// charge to the end of the monitoring period.
 	for i := range net.Sensors {
@@ -244,11 +317,29 @@ func RunDisturbed(net *wsn.Network, model energy.Model, policy Policy, cfg Confi
 	return res, nil
 }
 
+// policyErr and badSensorErr keep error construction out of the epoch
+// loop's instruction stream (they only run on a failing policy).
+func policyErr(name string, t float64, err error) error {
+	return fmt.Errorf("sim: policy %s at t=%g: %w", name, t, err)
+}
+
+func badSensorErr(name string, id int) error {
+	return fmt.Errorf("sim: policy %s charged invalid sensor index %d", name, id)
+}
+
+func arrivalsErr(t float64, err error) error {
+	return fmt.Errorf("sim: at t=%g: %w", t, err)
+}
+
+func outageDispatchErr(name string, depot int, t float64) error {
+	return fmt.Errorf("sim: policy %s dispatched a tour from depot %d during its outage at t=%g", name, depot, t)
+}
+
 // launch realizes tour's arrival times under the travel-noise model:
 // leg k's duration is its nominal distance over speed, times the
 // model's factor for (epoch, tour-of-epoch, leg).
 func launch(env *Env, dm disturb.Model, tour rooted.Tour, epoch, id int, t, speed float64) *flight {
-	arrive := make([]float64, len(tour.Stops))
+	arrive := env.sc.arrive(len(tour.Stops))
 	cur := tour.Depot
 	now := t
 	for k, s := range tour.Stops {
@@ -257,7 +348,9 @@ func launch(env *Env, dm disturb.Model, tour rooted.Tour, epoch, id int, t, spee
 		arrive[k] = now
 		cur = s
 	}
-	return &flight{id: id, depotNum: depotNumOf(env, tour.Depot), tour: tour, arrive: arrive, at: tour.Depot}
+	fl := env.sc.newFlight()
+	*fl = flight{id: id, depotNum: depotNumOf(env, tour.Depot), tour: tour, arrive: arrive, at: tour.Depot}
+	return fl
 }
 
 // depotNumOf maps a depot's space index to its 0-based depot-list
@@ -271,11 +364,43 @@ func depotNumOf(env *Env, idx int) int {
 	return -1
 }
 
-// sweep advances the world over [from, to): it interleaves piecewise
-// consumption with charger arrivals and breakdown starts, processed in
+// serveStop executes flight fl's next arrival at time when: the charger
+// advances to the stop, the sensor's gap closes, the residual engine
+// recharges it to capacity, and a completed sortie prices its return
+// leg. Shared verbatim by the reference and event sweeps.
+func serveStop(env *Env, fl *flight, when float64, res *Result, closeGap func(int, float64)) {
+	s := fl.tour.Stops[fl.next]
+	fl.driven += env.Space.Dist(fl.at, s)
+	fl.at = s
+	closeGap(s, when)
+	res.EnergyDelivered += env.eng.charge(s, when)
+	res.Charges++
+	fl.next++
+	if fl.next == len(fl.tour.Stops) {
+		// Sortie complete: drive the return leg home.
+		fl.driven += env.Space.Dist(fl.at, fl.tour.Depot)
+		res.DrivenCost += fl.driven
+		fl.driven = 0
+	}
+}
+
+// interruptFlight strands flight fl at a breakdown of its depot: the
+// unreached stops are re-queued to the policy and the sortie aborted.
+func interruptFlight(env *Env, fl *flight, res *Result) {
+	res.InterruptedSorties++
+	stranded := fl.tour.Stops[fl.next:]
+	res.Requeued += len(stranded)
+	env.requeued = append(env.requeued, stranded...)
+	abortFlight(env, fl, res)
+	fl.next = len(fl.tour.Stops)
+}
+
+// sweepRef advances the world over [from, to) with the reference
+// event-selection strategy: a linear scan over every in-flight sortie
+// per event, exactly the PR 9 control flow. Events are processed in
 // (time, kind, dispatch-order) order so the realization is independent
 // of slice layout. It returns the surviving in-flight sorties.
-func sweep(env *Env, dm disturb.Model, flights []*flight, breaks []Outage, from, to float64, dead []bool, res *Result, closeGap func(int, float64)) []*flight {
+func sweepRef(env *Env, flights []*flight, breaks []Outage, from, to float64, res *Result, closeGap func(int, float64)) []*flight {
 	cur := from
 	bi := 0
 	for bi < len(breaks) && breaks[bi].From < cur {
@@ -308,29 +433,13 @@ func sweep(env *Env, dm disturb.Model, flights []*flight, breaks []Outage, from,
 			when, kind, sel = breaks[bi].From, kindBreak, bi
 		}
 		if kind == kindNone {
-			consumeDisturbed(env, dm, cur, to, dead, res)
 			return compactFlights(flights)
 		}
-		consumeDisturbed(env, dm, cur, when, dead, res)
 		cur = when
+		_ = cur
 		switch kind {
 		case kindArrive:
-			fl := flights[sel]
-			s := fl.tour.Stops[fl.next]
-			fl.driven += env.Space.Dist(fl.at, s)
-			fl.at = s
-			closeGap(s, when)
-			res.EnergyDelivered += env.Net.Sensors[s].Capacity - env.Residual[s]
-			res.Charges++
-			env.Residual[s] = env.Net.Sensors[s].Capacity
-			dead[s] = false
-			fl.next++
-			if fl.next == len(fl.tour.Stops) {
-				// Sortie complete: drive the return leg home.
-				fl.driven += env.Space.Dist(fl.at, fl.tour.Depot)
-				res.DrivenCost += fl.driven
-				fl.driven = 0
-			}
+			serveStop(env, flights[sel], when, res, closeGap)
 		case kindBreak:
 			w := breaks[sel]
 			bi++
@@ -338,12 +447,7 @@ func sweep(env *Env, dm disturb.Model, flights []*flight, breaks []Outage, from,
 				if fl.depotNum != w.Depot || fl.next >= len(fl.tour.Stops) {
 					continue
 				}
-				res.InterruptedSorties++
-				stranded := fl.tour.Stops[fl.next:]
-				res.Requeued += len(stranded)
-				env.requeued = append(env.requeued, stranded...)
-				abortFlight(env, fl, res)
-				fl.next = len(fl.tour.Stops)
+				interruptFlight(env, fl, res)
 			}
 		}
 	}
@@ -368,48 +472,6 @@ func compactFlights(flights []*flight) []*flight {
 		}
 	}
 	return out
-}
-
-// consumeDisturbed integrates true consumption over [a, b): the energy
-// model's piecewise-constant rate times the disturbance rate factor,
-// split at both models' slot boundaries.
-func consumeDisturbed(env *Env, dm disturb.Model, a, b float64, dead []bool, res *Result) {
-	if b <= a {
-		return
-	}
-	slot := env.Model.SlotLength()
-	dslot := dm.RateStep()
-	for cur := a; cur < b-1e-12; {
-		next := b
-		if !math.IsInf(slot, 1) {
-			if boundary := (math.Floor(cur/slot+1e-9) + 1) * slot; boundary < next {
-				next = boundary
-			}
-		}
-		if !math.IsInf(dslot, 1) {
-			if boundary := (math.Floor(cur/dslot+1e-9) + 1) * dslot; boundary < next {
-				next = boundary
-			}
-		}
-		span := next - cur
-		for i := range env.Residual {
-			if dead[i] {
-				continue
-			}
-			env.Residual[i] -= env.Model.Rate(i, cur) * dm.RateFactor(i, cur) * span
-			if env.Residual[i] < -1e-9*env.Net.Sensors[i].Capacity {
-				env.Residual[i] = 0
-				dead[i] = true
-				res.Deaths++
-				if res.FirstDeath < 0 {
-					res.FirstDeath = next
-				}
-			} else if env.Residual[i] < 0 {
-				env.Residual[i] = 0
-			}
-		}
-		cur = next
-	}
 }
 
 // mergeWindows folds generated breakdown windows into the user's outage
@@ -465,8 +527,8 @@ func breakdownStarts(outages []Outage, T float64) []Outage {
 // deliverDue feeds every pending telemetry report due at or before
 // epoch into the predictor, oldest issue first (ties by sensor), so the
 // EWMA sees stale values in their original order.
-func deliverDue(pred *energy.EWMA, pending map[int][]report, epoch int) {
-	var due []report
+func deliverDue(pred *energy.EWMA, pending map[int][]report, epoch int, sc *Scratch) {
+	due := sc.due[:0]
 	for e, rs := range pending {
 		if e <= epoch {
 			due = append(due, rs...)
@@ -482,4 +544,5 @@ func deliverDue(pred *energy.EWMA, pending map[int][]report, epoch int) {
 	for _, r := range due {
 		pred.Observe(r.sensor, r.value)
 	}
+	sc.due = due[:0]
 }

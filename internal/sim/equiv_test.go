@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/disturb"
+	"repro/internal/energy"
+	"repro/internal/metric"
+	"repro/internal/rng"
+	"repro/internal/rooted"
+	"repro/internal/sched"
+	"repro/internal/wsn"
+)
+
+// The equivalence suite pins the tentpole invariant of the event-driven
+// runner: RunDisturbed (event heap, lazy inspection, depletion-key
+// Redispatch, grid-anchored insertion) must be byte-identical — JSON of
+// Result, schedule and policy counters — to RunDisturbedReference (the
+// retained linear-scan, full-inspection control flow) on every input:
+// each disturbance facet alone and composed, at several intensities,
+// open- and closed-loop, dense and grid metrics, with and without user
+// outages, across randomized topologies and synthetic plans.
+
+// equivFacets builds each disturbance facet at intensity x (0 = benign).
+var equivFacets = []struct {
+	name string
+	mk   func(src *rng.Source, x float64) disturb.Model
+}{
+	{"travel", func(src *rng.Source, x float64) disturb.Model {
+		if x <= 0 {
+			return disturb.None
+		}
+		return disturb.NewTravelNoise(src, 0.3*x)
+	}},
+	{"breakdowns", func(src *rng.Source, x float64) disturb.Model {
+		if x <= 0 {
+			return disturb.None
+		}
+		return disturb.NewBreakdowns(src, 15/x, 3)
+	}},
+	{"drift", func(src *rng.Source, x float64) disturb.Model {
+		if x <= 0 {
+			return disturb.None
+		}
+		return disturb.NewDrift(src, disturb.DriftConfig{
+			Sigma: 0.05 * x, Step: 1,
+			BurstProb: math.Min(0.3, 0.05*x), BurstMag: 1.5,
+		})
+	}},
+	{"telemetry", func(src *rng.Source, x float64) disturb.Model {
+		if x <= 0 {
+			return disturb.None
+		}
+		return disturb.NewTelemetry(src, math.Min(0.9, 0.3*x), 2*x)
+	}},
+	{"standard", func(src *rng.Source, x float64) disturb.Model {
+		return disturb.Standard(src, x, disturb.DefaultParams())
+	}},
+}
+
+// equivSchedule fabricates a Dt-aligned replay plan: every few epochs
+// each depot tours a pseudo-random slice of the sensors.
+func equivSchedule(net *wsn.Network, T, dt float64, src *rng.Source) *sched.Schedule {
+	s := &sched.Schedule{T: T}
+	n := net.N()
+	sp := net.Space()
+	depots := net.DepotIndices()
+	period := 3 + src.Intn(4)
+	for step := period; float64(step)*dt < T-1e-9; step += period {
+		r := sched.Round{Time: float64(step) * dt}
+		perm := src.Perm(n)
+		served := n / 3
+		if served == 0 {
+			served = n
+		}
+		per := served/len(depots) + 1
+		for d := 0; d < len(depots) && len(perm) > 0; d++ {
+			k := per
+			if k > len(perm) {
+				k = len(perm)
+			}
+			stops := append([]int(nil), perm[:k]...)
+			perm = perm[k:]
+			tour := rooted.Tour{Depot: depots[d], Stops: stops}
+			cur := tour.Depot
+			for _, s := range stops {
+				tour.Cost += sp.Dist(cur, s)
+				cur = s
+			}
+			tour.Cost += sp.Dist(cur, tour.Depot)
+			r.Tours = append(r.Tours, tour)
+		}
+		s.Rounds = append(s.Rounds, r)
+	}
+	return s
+}
+
+// equivPayload is everything the two runners must agree on.
+type equivPayload struct {
+	Res          Result
+	Redispatches int
+	Rescued      int
+	Inserted     int
+}
+
+func equivRun(t *testing.T, ref, grid, closed bool, net *wsn.Network, plan *sched.Schedule,
+	model energy.Model, dm disturb.Model, cfg Config, d Disturbed) []byte {
+	t.Helper()
+	if grid {
+		cfg.Space = metric.NewGrid(net.Points())
+	}
+	d.Model = dm
+	var pol Policy
+	replay := &ScheduleReplay{Schedule: plan}
+	pay := equivPayload{}
+	var rd *Redispatch
+	if closed {
+		rd = &Redispatch{Inner: replay}
+		pol = rd
+	} else {
+		pol = replay
+	}
+	run := RunDisturbed
+	if ref {
+		run = RunDisturbedReference
+	}
+	res, err := run(net, model, pol, cfg, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay.Res = res
+	if rd != nil {
+		pay.Redispatches, pay.Rescued, pay.Inserted = rd.Redispatches, rd.Rescued, rd.Inserted
+	}
+	b, err := json.Marshal(pay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEventMatchesReferenceProperty(t *testing.T) {
+	sizes := []struct{ n, q int }{{25, 2}, {120, 3}, {300, 5}}
+	intensities := []float64{0, 0.5, 1}
+	for si, sz := range sizes {
+		net, err := wsn.Generate(rng.New(uint64(7000+si)), wsn.GenConfig{
+			N: sz.n, Q: sz.q,
+			Dist: wsn.LinearDist{TauMin: 3, TauMax: 25, Sigma: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := energy.NewFixed(net)
+		cfg := Config{T: 24, Dt: 0.5}
+		if si == 1 {
+			// One case with user outages on top of generated windows.
+			cfg.Outages = []Outage{{Depot: 0, From: 5, To: 9}, {Depot: 1, From: 14, To: 16}}
+		}
+		plan := equivSchedule(net, cfg.T, cfg.Dt, rng.New(uint64(8000+si)))
+		for _, fc := range equivFacets {
+			for _, x := range intensities {
+				for _, closed := range []bool{false, true} {
+					for _, grid := range []bool{false, true} {
+						name := fmt.Sprintf("n=%d/%s/x=%g/closed=%v/grid=%v", sz.n, fc.name, x, closed, grid)
+						seed := rng.New(uint64(si)*1000 + 17)
+						d := Disturbed{Speed: 400}
+						ev := equivRun(t, false, grid, closed, net, plan, model, fc.mk(seed, x), cfg, d)
+						rf := equivRun(t, true, grid, closed, net, plan, model, fc.mk(seed, x), cfg, d)
+						if !bytes.Equal(ev, rf) {
+							t.Fatalf("%s: event-driven result differs from reference\nevent:     %s\nreference: %s", name, ev, rf)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEventMatchesReferenceScratchReuse pins that one Scratch arena
+// reused across replications (the Monte-Carlo harness pattern) changes
+// nothing: every run must match both a fresh-arena event run and the
+// reference implementation, despite junk left over from the previous
+// replication (residuals, depletion keys, heaps, flight blocks).
+func TestEventMatchesReferenceScratchReuse(t *testing.T) {
+	sc := NewScratch()
+	for rep := 0; rep < 4; rep++ {
+		// Alternate sizes so buffers shrink as well as grow.
+		n := 60 + 90*(rep%2)
+		net, err := wsn.Generate(rng.New(uint64(9100+rep)), wsn.GenConfig{
+			N: n, Q: 3, Dist: wsn.LinearDist{TauMin: 3, TauMax: 25, Sigma: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := energy.NewFixed(net)
+		cfg := Config{T: 18, Dt: 0.5}
+		plan := equivSchedule(net, cfg.T, cfg.Dt, rng.New(uint64(9200+rep)))
+		seed := rng.New(uint64(9300 + rep))
+		mk := func() disturb.Model { return disturb.Standard(seed, 1, disturb.DefaultParams()) }
+		reused := equivRun(t, false, true, true, net, plan, model, mk(), cfg, Disturbed{Speed: 400, Scratch: sc})
+		fresh := equivRun(t, false, true, true, net, plan, model, mk(), cfg, Disturbed{Speed: 400})
+		ref := equivRun(t, true, true, true, net, plan, model, mk(), cfg, Disturbed{Speed: 400})
+		if !bytes.Equal(reused, fresh) {
+			t.Fatalf("rep %d: reused-Scratch run differs from fresh-Scratch run\nreused: %s\nfresh:  %s", rep, reused, fresh)
+		}
+		if !bytes.Equal(reused, ref) {
+			t.Fatalf("rep %d: event run differs from reference\nevent:     %s\nreference: %s", rep, reused, ref)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package sim
+
+import "math"
+
+// arrEvent is one pending charger arrival in the event-driven sweep's
+// binary heap, ordered by (arrival time, dispatch id) — exactly the
+// (time, kind, dispatch-order) selection the reference linear scan
+// documents, with the breakdown stream merged in by the sweep loop.
+//
+// Deletion is lazy: when a breakdown interrupts a flight, its pending
+// event stays in the heap and is recognized as stale because the
+// flight's next-stop cursor no longer matches the stop the event was
+// pushed for. A live flight has exactly one live event (pushed at
+// launch and re-pushed after each served stop), so the heap holds at
+// most one live plus a bounded backlog of stale entries per flight.
+type arrEvent struct {
+	at   float64
+	id   int32 // flight dispatch id, tie-break (smaller first)
+	stop int32 // the stop index this event announces
+	fl   *flight
+}
+
+// eventState is the event-mode sweep's working set: the arrival heap,
+// every flight ever launched (final-abort pricing iterates them in
+// dispatch order), the per-depot live lists breakdowns interrupt, and
+// the persistent cursor into the sorted breakdown-start stream.
+type eventState struct {
+	heap    []arrEvent
+	all     []*flight
+	byDepot [][]*flight
+	bi      int
+}
+
+func newEventState(sc *Scratch, q int) *eventState {
+	es := &sc.es
+	es.heap = es.heap[:0]
+	es.all = es.all[:0]
+	if cap(es.byDepot) < q {
+		es.byDepot = make([][]*flight, q)
+	}
+	es.byDepot = es.byDepot[:q]
+	for d := range es.byDepot {
+		es.byDepot[d] = es.byDepot[d][:0]
+	}
+	es.bi = 0
+	return es
+}
+
+// add registers a freshly launched flight: its first arrival enters the
+// heap and the flight joins its depot's interruption list.
+func (es *eventState) add(fl *flight) {
+	es.all = append(es.all, fl)
+	es.byDepot[fl.depotNum] = append(es.byDepot[fl.depotNum], fl)
+	es.push(arrEvent{at: fl.arrive[0], id: int32(fl.id), stop: 0, fl: fl})
+}
+
+func (es *eventState) less(a, b arrEvent) bool {
+	return a.at < b.at || (a.at == b.at && a.id < b.id) //lint:allow floateq exact event-time tie ordering
+}
+
+func (es *eventState) push(ev arrEvent) {
+	h := append(es.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !es.less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	es.heap = h
+}
+
+func (es *eventState) pop() arrEvent {
+	h := es.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			break
+		}
+		if r := l + 1; r < len(h) && es.less(h[r], h[l]) {
+			l = r
+		}
+		if !es.less(h[l], h[i]) {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	es.heap = h
+	return top
+}
+
+// dropStale pops heap entries whose flight has moved past (or been
+// interrupted before) the stop they announce.
+func (es *eventState) dropStale() {
+	for len(es.heap) > 0 {
+		ev := es.heap[0]
+		if int(ev.stop) == ev.fl.next {
+			return
+		}
+		es.pop()
+	}
+}
+
+// sweep advances the world over [from, to) in event order — the
+// O(events · log) twin of sweepRef, selecting the same events in the
+// same (time, kind, dispatch-order) sequence: a breakdown fires iff it
+// strictly precedes both the earliest arrival and the sweep end;
+// otherwise the earliest arrival (dispatch order breaking ties) fires
+// iff it strictly precedes the sweep end.
+func (es *eventState) sweep(env *Env, breaks []Outage, from, to float64, res *Result, closeGap func(int, float64)) {
+	for es.bi < len(breaks) && breaks[es.bi].From < from {
+		es.bi++
+	}
+	for {
+		es.dropStale()
+		ta := math.Inf(1)
+		if len(es.heap) > 0 {
+			ta = es.heap[0].at
+		}
+		tb := math.Inf(1)
+		if es.bi < len(breaks) {
+			tb = breaks[es.bi].From
+		}
+		if tb < to && tb < ta {
+			w := breaks[es.bi]
+			es.bi++
+			list := es.byDepot[w.Depot]
+			for _, fl := range list {
+				if fl.next >= len(fl.tour.Stops) {
+					continue
+				}
+				interruptFlight(env, fl, res)
+			}
+			// Every flight in the list is now completed or interrupted;
+			// only post-window launches can be live here again.
+			es.byDepot[w.Depot] = list[:0]
+			continue
+		}
+		if ta >= to {
+			return
+		}
+		ev := es.pop()
+		fl := ev.fl
+		serveStop(env, fl, ev.at, res, closeGap)
+		if fl.next < len(fl.tour.Stops) {
+			es.push(arrEvent{at: fl.arrive[fl.next], id: int32(fl.id), stop: int32(fl.next), fl: fl})
+		}
+	}
+}

@@ -85,13 +85,13 @@ func Replay(net *wsn.Network, model energy.Model, schedule *sched.Schedule) (Rep
 	lastTime := math.Inf(-1)
 	for j, round := range schedule.Rounds {
 		if round.Time < lastTime {
-			return ReplayResult{}, fmt.Errorf("sim: round %d at %g before previous at %g", j, round.Time, lastTime)
+			return ReplayResult{}, roundOrderErr(j, round.Time, lastTime)
 		}
 		lastTime = round.Time
 		drainTo(round.Time)
 		for _, id := range round.Sensors() {
 			if id < 0 || id >= net.N() {
-				return ReplayResult{}, fmt.Errorf("sim: round %d charges invalid sensor %d", j, id)
+				return ReplayResult{}, roundSensorErr(j, id)
 			}
 			if !dead[id] {
 				if frac := residual[id] / net.Sensors[id].Capacity; frac < res.MinResidual {
@@ -116,4 +116,14 @@ func Replay(net *wsn.Network, model energy.Model, schedule *sched.Schedule) (Rep
 		}
 	}
 	return res, nil
+}
+
+// roundOrderErr and roundSensorErr keep error construction out of the
+// replay loop's instruction stream (they only run on a bad schedule).
+func roundOrderErr(j int, t, prev float64) error {
+	return fmt.Errorf("sim: round %d at %g before previous at %g", j, t, prev)
+}
+
+func roundSensorErr(j, id int) error {
+	return fmt.Errorf("sim: round %d charges invalid sensor %d", j, id)
 }

@@ -52,6 +52,8 @@ func (p *ScheduleReplay) Name() string { return "replay" }
 // Init implements Policy: it verifies every round time sits on the
 // decision grid (within 1e-9) and indexes the schedule's charge times
 // for NextCharge.
+//
+//lint:allow hotalloc run-setup validation: allocates only to reject an off-grid schedule
 func (p *ScheduleReplay) Init(env *Env) error {
 	if p.Schedule == nil {
 		return fmt.Errorf("sim: ScheduleReplay needs a schedule")

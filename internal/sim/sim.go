@@ -73,6 +73,18 @@ type Env struct {
 	// dispatch never served. Populated by RunDisturbed only; cleared
 	// after every Decide.
 	requeued []int
+
+	// eng, when non-nil, is the lazy residual integrator the disturbed
+	// runners install: Residual entries are then only valid at each
+	// sensor's own commit time and every read must go through the
+	// engine (ResidualLife does).
+	eng *residEngine
+	// lazyInspect is true under the event-driven runner only; policies
+	// with an O(events)-compatible fast path (Redispatch's pressure
+	// filter) key on it, so the reference runner keeps full scans.
+	lazyInspect bool
+	// sc is the arena the current run carves working memory from.
+	sc *Scratch
 }
 
 // Requeued returns the sensors stranded since the previous decision
@@ -99,7 +111,21 @@ func (e *Env) PredCycle(i int) float64 {
 // ResidualLife returns the predicted residual lifetime of sensor i,
 // l̂_i = residual energy / ρ̂_i.
 func (e *Env) ResidualLife(i int) float64 {
+	if e.eng != nil {
+		return e.eng.peek(i, e.now) / e.Pred.Predict(i)
+	}
 	return e.Residual[i] / e.Pred.Predict(i)
+}
+
+// trueRateInfo reports sensor i's true consumption rate at the current
+// instant and the first merged rate-grid boundary after it — the span
+// over which that rate is guaranteed constant. Only valid under the
+// disturbed runners (eng non-nil); Redispatch's pressure filter uses it
+// to bound how long a non-pressured sensor stays provably safe.
+func (e *Env) trueRateInfo(i int) (rate, until float64) {
+	re := e.eng
+	re.advance(i, e.now)
+	return re.rate(i, e.now), re.nextBoundary(e.now)
 }
 
 // ActiveDepots returns the metric-space indices of the depots whose
@@ -197,7 +223,7 @@ func (r Result) Cost() float64 { return r.Schedule.Cost() }
 
 // Run simulates policy over net under the given true-energy model.
 func Run(net *wsn.Network, model energy.Model, policy Policy, cfg Config) (Result, error) {
-	env, err := newEnv(net, model, cfg)
+	env, err := newEnv(net, model, cfg, &Scratch{})
 	if err != nil {
 		return Result{}, err
 	}
@@ -215,6 +241,7 @@ func Run(net *wsn.Network, model energy.Model, policy Policy, cfg Config) (Resul
 		FirstDeath: -1,
 	}
 	dead := make([]bool, net.N())
+	active := make(map[int]bool)
 	const eps = 1e-9
 	for step := 1; ; step++ {
 		t := float64(step) * dt
@@ -230,20 +257,19 @@ func Run(net *wsn.Network, model energy.Model, policy Policy, cfg Config) (Resul
 		}
 		tours, err := policy.Decide(env, t)
 		if err != nil {
-			return Result{}, fmt.Errorf("sim: policy %s at t=%g: %w", policy.Name(), t, err)
+			return Result{}, policyErr(policy.Name(), t, err)
 		}
 		if len(tours) == 0 {
 			res.Epochs++
 			continue
 		}
-		active := make(map[int]bool)
+		clear(active)
 		for _, d := range env.ActiveDepots() {
 			active[d] = true
 		}
 		for _, tour := range tours {
 			if !active[tour.Depot] && len(tour.Stops) > 0 {
-				return Result{}, fmt.Errorf("sim: policy %s dispatched a tour from depot %d during its outage at t=%g",
-					policy.Name(), tour.Depot, t)
+				return Result{}, outageDispatchErr(policy.Name(), tour.Depot, t)
 			}
 		}
 		if check.Enabled {
@@ -251,14 +277,14 @@ func Run(net *wsn.Network, model energy.Model, policy Policy, cfg Config) (Resul
 			// stops inside the space, no sensor charged twice per tour.
 			for _, tour := range tours {
 				if err := check.Tour(env.Space.Len(), tour.Depot, tour.Stops); err != nil {
-					return Result{}, fmt.Errorf("sim: policy %s at t=%g: %w", policy.Name(), t, err)
+					return Result{}, policyErr(policy.Name(), t, err)
 				}
 			}
 		}
 		for _, tour := range tours {
 			for _, id := range tour.Stops {
 				if id < 0 || id >= net.N() {
-					return Result{}, fmt.Errorf("sim: policy %s charged invalid sensor index %d", policy.Name(), id)
+					return Result{}, badSensorErr(policy.Name(), id)
 				}
 				res.EnergyDelivered += net.Sensors[id].Capacity - env.Residual[id]
 				res.Charges++
@@ -273,10 +299,10 @@ func Run(net *wsn.Network, model energy.Model, policy Policy, cfg Config) (Resul
 }
 
 // newEnv validates cfg, applies its defaults and builds the initial
-// fully-charged world shared by Run and RunDisturbed. The predictor is
-// allocated but not seeded: each runner decides what the base station
-// initially observes.
-func newEnv(net *wsn.Network, model energy.Model, cfg Config) (*Env, error) {
+// fully-charged world shared by Run and RunDisturbed, carving working
+// memory from sc. The predictor is allocated but not seeded: each
+// runner decides what the base station initially observes.
+func newEnv(net *wsn.Network, model energy.Model, cfg Config, sc *Scratch) (*Env, error) {
 	if cfg.T <= 0 {
 		return nil, fmt.Errorf("sim: Config.T must be positive, got %g", cfg.T)
 	}
@@ -298,24 +324,24 @@ func newEnv(net *wsn.Network, model energy.Model, cfg Config) (*Env, error) {
 	if err := validateOutages(cfg.Outages, net.Q()); err != nil {
 		return nil, err
 	}
-	space := cfg.Space
-	if space == nil {
-		space = net.Space()
-	} else if space.Len() != net.Space().Len() {
-		return nil, fmt.Errorf("sim: Config.Space has %d points, network has %d", space.Len(), net.Space().Len())
+	if cfg.Space != nil && cfg.Space.Len() != net.N()+net.Q() {
+		return nil, fmt.Errorf("sim: Config.Space has %d points, network has %d", cfg.Space.Len(), net.N()+net.Q())
 	}
 	env := &Env{
 		Net: net,
-		// Materialize short-circuits when the caller already passed a
-		// Dense, so the shared-space path does no O(n^2) copying here.
-		Space:    metric.Materialize(space),
+		// buildSpace keeps prebuilt spaces as passed (Materialize
+		// short-circuits a Dense, grids are used directly) and above
+		// metric.DenseLimit swaps the O(n²) matrix for the exact
+		// spatial grid — the same selection core.PlanFixed makes.
+		Space:    sc.buildSpace(net, cfg),
 		Depots:   net.DepotIndices(),
 		Model:    model,
 		T:        cfg.T,
 		Dt:       dt,
-		Residual: make([]float64, net.N()),
+		Residual: growF64(&sc.residual, net.N()),
 		Pred:     pred,
 		outages:  cfg.Outages,
+		sc:       sc,
 	}
 	for i, s := range net.Sensors {
 		env.Residual[i] = s.Capacity
@@ -344,9 +370,10 @@ func (e *AllDepotsDownError) Error() string {
 // change at window starts, so checking each start suffices. It returns
 // the first violating start in scan order, or ok=false.
 func allDownAt(outages []Outage, q int) (at float64, ok bool) {
+	seen := make(map[int]bool)
 	for _, o := range outages {
 		down := 0
-		seen := make(map[int]bool)
+		clear(seen)
 		for _, p := range outages {
 			if o.From >= p.From && o.From < p.To && !seen[p.Depot] {
 				seen[p.Depot] = true
@@ -363,6 +390,8 @@ func allDownAt(outages []Outage, q int) (at float64, ok bool) {
 // validateOutages rejects malformed windows and configurations that
 // would leave the network with no charger at some instant (the latter
 // as an *AllDepotsDownError).
+//
+//lint:allow hotalloc config-time validation: allocates only to reject malformed windows
 func validateOutages(outages []Outage, q int) error {
 	for i, o := range outages {
 		if o.Depot < 0 || o.Depot >= q {

@@ -43,6 +43,8 @@ func cost[S metric.Space](sp S, tour []int) float64 {
 
 // Validate checks that tour visits each of the vertices in want exactly
 // once (and nothing else). A nil want means "all vertices of sp".
+//
+//lint:allow hotalloc validation-only: allocates a scratch set once and errors only on rejected tours
 func Validate(sp metric.Space, tour []int, want []int) error {
 	if want == nil {
 		want = make([]int, sp.Len())

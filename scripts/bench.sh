@@ -19,6 +19,13 @@
 # heap-bytes) and folds it into the same baseline. Capture defaults to
 # LARGE=1 so committed baselines record the large-n numbers; check
 # defaults to LARGE=0 so the regression gate stays fast.
+#
+# cmd/robust artifacts carry the same schema under their "benchmarks"
+# key (RobustSweep ns-per-run + heap footprint), so sweep baselines
+# ratchet with the same tool:
+#
+#   go run ./cmd/bench -compare -threshold 0.25 \
+#       ROBUST_pr10.json NEW_SWEEP.json
 set -eu
 
 cd "$(dirname "$0")/.."
